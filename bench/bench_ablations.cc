@@ -1,0 +1,288 @@
+// Ablation studies for the design choices DESIGN.md calls out (Section 2.4
+// of the paper motivates each):
+//   1. Random-forest size (1 tree vs the paper's 10 vs 50).
+//   2. Deep unpruned trees vs depth-capped trees (the paper eschews
+//      pruning).
+//   3. Linear-regression leaves anchored on mu_m vs plain mean leaves.
+//   4. Training-set fraction (the 90/10 vs 80/20 observation of
+//      Section 3.3).
+//   5. Event-driven simulator speed vs the literal Algorithm 1 tick loop.
+
+#include <chrono>
+#include <numeric>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/sim/tick_simulator.h"
+
+namespace msprint {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double EvalForest(const bench::PreparedWorkload& prepared,
+                  RandomForestConfig config) {
+  config.anchor_feature = MarginalRateFeatureIndex();
+  const HybridModel model = HybridModel::Train({&prepared.train}, config);
+  return MedianError(model,
+                     MakeCases(prepared.profile, prepared.test_rows));
+}
+
+}  // namespace
+}  // namespace msprint
+
+int main() {
+  using namespace msprint;
+
+  PrintBanner(std::cout,
+              "Ablations (Jacobi + SparkKmeans + SparkStream, DVFS)");
+  std::vector<bench::PreparedWorkload> prepared;
+  for (WorkloadId wl : {WorkloadId::kJacobi, WorkloadId::kSparkKmeans,
+                        WorkloadId::kSparkStream}) {
+    bench::PipelineOptions options;
+    options.seed = DeriveSeed(46, static_cast<uint64_t>(wl));
+    prepared.push_back(bench::Prepare(ToString(wl), QueryMix::Single(wl),
+                                      bench::DvfsPlatform(), options));
+    std::cout << "  prepared " << ToString(wl) << "\n";
+  }
+  const bench::PreparedWorkload& jacobi = prepared[0];
+  const bench::PreparedWorkload& kmeans = prepared[1];
+  const bench::PreparedWorkload& stream = prepared[2];
+
+  // 1. Forest size.
+  PrintBanner(std::cout, "Ablation 1: forest size (median error)");
+  {
+    TextTable table({"workload", "1 tree", "5 trees", "10 trees (paper)",
+                     "50 trees"});
+    for (const auto& p : prepared) {
+      std::vector<std::string> row = {p.label};
+      for (size_t trees : {1ul, 5ul, 10ul, 50ul}) {
+        RandomForestConfig config;
+        config.num_trees = trees;
+        row.push_back(TextTable::Pct(EvalForest(p, config)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+
+  // 2. Depth cap (pruning stand-in).
+  PrintBanner(std::cout, "Ablation 2: deep unpruned trees vs depth caps");
+  {
+    TextTable table({"workload", "depth<=3", "depth<=6", "unbounded (paper)"});
+    for (const auto& p : prepared) {
+      std::vector<std::string> row = {p.label};
+      for (size_t depth : {3ul, 6ul, 64ul}) {
+        RandomForestConfig config;
+        config.max_depth = depth;
+        row.push_back(TextTable::Pct(EvalForest(p, config)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+
+  // 3. Leaf model. In Figure 5 the paper's trees split ONLY on workload
+  // conditions and policy settings (lambda, T, R, B) and capture the rate
+  // dependence entirely in the leaf regressions ("mu_e = a * mu_m + b").
+  // This ablation builds that exact structure — rate features excluded
+  // from splits — and compares anchored leaves against mean leaves when
+  // generalizing to a workload whose marginal rate was never profiled:
+  // trained on Jacobi (mu_m 74 qph) + SparkStream (224 qph), predicting
+  // SparkKmeans (144 qph, strictly between). Free-split forests (which
+  // may split on mu/mu_m directly) are shown for contrast: their splits
+  // absorb the rate signal, so the leaf type stops mattering — but they
+  // cannot interpolate unseen rates either.
+  PrintBanner(std::cout,
+              "Ablation 3: leaf model x split features — generalizing to "
+              "an unseen workload (train Jacobi+Stream, test SparkKmeans)");
+  {
+    const Dataset pooled =
+        BuildTrainingDataset({&jacobi.train, &stream.train}, true);
+    // Fig 5's split set: everything except the rate columns.
+    std::vector<size_t> policy_features;
+    for (size_t f = 0; f < pooled.NumFeatures(); ++f) {
+      const std::string& name = ModelFeatureNames()[f];
+      if (name != "service_rate_qph" && name != "marginal_rate_qph" &&
+          name != "arrival_rate_qph") {
+        policy_features.push_back(f);
+      }
+    }
+
+    auto evaluate = [&](const std::vector<size_t>& allowed, bool anchor) {
+      // Hand-rolled bagged ensemble so the split set can be restricted.
+      Rng rng(7);
+      std::vector<DecisionTree> trees;
+      for (int t = 0; t < 10; ++t) {
+        std::vector<size_t> rows(pooled.NumRows() * 9 / 10);
+        for (auto& r : rows) {
+          r = rng.NextBounded(pooled.NumRows());
+        }
+        DecisionTreeConfig tree_config;
+        tree_config.allowed_features = allowed;
+        if (anchor) {
+          tree_config.anchor_feature = MarginalRateFeatureIndex();
+        }
+        trees.push_back(DecisionTree::Fit(pooled.Subset(rows), tree_config));
+      }
+      std::vector<double> errors;
+      const double mu_qph =
+          kmeans.profile.service_rate_per_second * kSecondsPerHour;
+      for (const auto& row : kmeans.test_rows) {
+        const auto features =
+            EncodeFeatures(kmeans.profile, ModelInput::FromRow(row));
+        double acc = 0.0;
+        for (const auto& tree : trees) {
+          acc += tree.Predict(features);
+        }
+        errors.push_back(AbsoluteRelativeError(
+            acc / trees.size(), row.effective_speedup * mu_qph));
+      }
+      return Median(std::move(errors));
+    };
+
+    std::vector<size_t> all_features(pooled.NumFeatures());
+    std::iota(all_features.begin(), all_features.end(), 0);
+
+    TextTable table({"split features", "anchored leaves (paper)",
+                     "mean leaves"});
+    table.AddRow({"policy/conditions only (Fig 5)",
+                  TextTable::Pct(evaluate(policy_features, true)),
+                  TextTable::Pct(evaluate(policy_features, false))});
+    table.AddRow({"all features (incl. rates)",
+                  TextTable::Pct(evaluate(all_features, true)),
+                  TextTable::Pct(evaluate(all_features, false))});
+    table.Print(std::cout);
+  }
+  // In-distribution comparison (both workloads seen in training): splits
+  // on mu/mu_m separate the workloads before the leaf model matters, so
+  // the two leaf types tie — shown here for completeness.
+  {
+    // HybridModel::Train always anchors its leaves, so this ablation
+    // compares the raw forests on their actual learning target: the
+    // calibrated effective sprint rate of held-out rows. With unbounded
+    // depth, splits on mu/mu_m separate the workloads before the leaves
+    // matter; the anchor's value shows when depth is capped and a single
+    // leaf must straddle different marginal rates — so the comparison uses
+    // shallow trees.
+    TextTable table({"workload", "linear leaves (paper)", "mean leaves"});
+    RandomForestConfig shallow_base;
+    shallow_base.max_depth = 3;
+    for (const auto& p : prepared) {
+      const Dataset data = BuildTrainingDataset({&p.train}, true);
+      RandomForestConfig with_anchor_cfg = shallow_base;
+      with_anchor_cfg.anchor_feature = MarginalRateFeatureIndex();
+      const RandomForest with_anchor =
+          RandomForest::Fit(data, with_anchor_cfg);
+      const RandomForest without_anchor =
+          RandomForest::Fit(data, shallow_base);
+      std::vector<double> err_with, err_without;
+      const double mu_qph =
+          p.profile.service_rate_per_second * kSecondsPerHour;
+      for (const auto& row : p.test_rows) {
+        const auto features =
+            EncodeFeatures(p.profile, ModelInput::FromRow(row));
+        const double truth = row.effective_speedup * mu_qph;
+        err_with.push_back(
+            AbsoluteRelativeError(with_anchor.Predict(features), truth));
+        err_without.push_back(
+            AbsoluteRelativeError(without_anchor.Predict(features), truth));
+      }
+      table.AddRow({p.label, TextTable::Pct(Median(err_with)),
+                    TextTable::Pct(Median(err_without))});
+    }
+    // Pooled across workloads: here mu_m actually varies between rows, so
+    // the anchored leaf regression (Fig 5's "mu_e = a * mu_m + b") can
+    // pull its weight.
+    {
+      const Dataset data =
+          BuildTrainingDataset({&prepared[0].train, &prepared[1].train},
+                               true);
+      RandomForestConfig with_anchor_cfg = shallow_base;
+      with_anchor_cfg.anchor_feature = MarginalRateFeatureIndex();
+      const RandomForest with_anchor =
+          RandomForest::Fit(data, with_anchor_cfg);
+      const RandomForest without_anchor =
+          RandomForest::Fit(data, shallow_base);
+      std::vector<double> err_with, err_without;
+      for (const auto& p : prepared) {
+        const double mu_qph =
+            p.profile.service_rate_per_second * kSecondsPerHour;
+        for (const auto& row : p.test_rows) {
+          const auto features =
+              EncodeFeatures(p.profile, ModelInput::FromRow(row));
+          const double truth = row.effective_speedup * mu_qph;
+          err_with.push_back(
+              AbsoluteRelativeError(with_anchor.Predict(features), truth));
+          err_without.push_back(AbsoluteRelativeError(
+              without_anchor.Predict(features), truth));
+        }
+      }
+      table.AddRow({"pooled (both)", TextTable::Pct(Median(err_with)),
+                    TextTable::Pct(Median(err_without))});
+    }
+    table.Print(std::cout);
+  }
+
+  // 4. Training fraction.
+  PrintBanner(std::cout, "Ablation 4: training-set fraction");
+  {
+    TextTable table({"workload", "50% train", "80% train (paper)",
+                     "90% train"});
+    for (const auto& p : prepared) {
+      std::vector<std::string> row = {p.label};
+      for (double fraction : {0.5, 0.8, 0.9}) {
+        Rng rng(DeriveSeed(9, static_cast<uint64_t>(fraction * 100)));
+        const ProfileSplit split =
+            SplitProfileRows(p.profile, fraction, rng);
+        const HybridModel model = HybridModel::Train({&split.train});
+        row.push_back(TextTable::Pct(
+            MedianError(model, MakeCases(p.profile, split.test_rows))));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+
+  // 5. Event-driven vs tick-driven simulator speed.
+  PrintBanner(std::cout,
+              "Ablation 5: event-driven simulator vs Algorithm 1 tick loop");
+  {
+    const LognormalDistribution service(70.0, 0.2);
+    SimConfig config;
+    config.arrival_rate_per_second = 0.8 / 70.0;
+    config.service = &service;
+    config.sprint_speedup = 1.4;
+    config.timeout_seconds = 80.0;
+    config.budget_capacity_seconds = 40.0;
+    config.budget_refill_seconds = 200.0;
+    config.num_queries = 3000;
+    config.seed = 5;
+
+    const auto t0 = Clock::now();
+    const SimResult event_result = SimulateQueue(config);
+    const auto t1 = Clock::now();
+    TickSimConfig tick;
+    tick.base = config;
+    tick.tick_seconds = 1e-3;
+    const SimResult tick_result = SimulateQueueTicked(tick);
+    const auto t2 = Clock::now();
+
+    const double event_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double tick_seconds =
+        std::chrono::duration<double>(t2 - t1).count();
+    TextTable table({"simulator", "wall time", "mean RT"});
+    table.AddRow({"event-driven", TextTable::Num(event_seconds * 1e3, 1) + " ms",
+                  TextTable::Num(event_result.mean_response_time, 2)});
+    table.AddRow({"tick loop (1 ms ticks)",
+                  TextTable::Num(tick_seconds * 1e3, 1) + " ms",
+                  TextTable::Num(tick_result.mean_response_time, 2)});
+    table.Print(std::cout);
+    std::cout << "speedup: " << TextTable::Num(tick_seconds / event_seconds, 0)
+              << "X with identical semantics (see sim_test conformance "
+                 "suite); the paper's 1 us ticks would be 1000X slower "
+                 "again\n";
+  }
+  return 0;
+}

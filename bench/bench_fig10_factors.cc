@@ -1,0 +1,97 @@
+// Reproduces Figure 10: hybrid-model prediction error grouped by design
+// factors — service rate (hi/low at 40 qph), utilization (60%), timeout
+// (100 s), sprint budget (40%) — plus the cluster-sampling in/out study:
+// predictions for conditions removed from the training centroids (paper:
+// ~2.5X higher error, median ~10%, still useful for ranking policies).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace msprint {
+namespace {
+
+struct Grouped {
+  std::vector<double> hi;
+  std::vector<double> low;
+};
+
+}  // namespace
+}  // namespace msprint
+
+int main() {
+  using namespace msprint;
+  PrintBanner(std::cout, "Fig 10: error grouped by design factors (Hybrid)");
+
+  Grouped by_service, by_util, by_timeout, by_budget;
+  std::vector<double> cluster_in, cluster_out;
+
+  for (WorkloadId wl : AllWorkloads()) {
+    bench::PipelineOptions options;
+    options.seed = DeriveSeed(45, static_cast<uint64_t>(wl));
+    const auto prepared = bench::Prepare(ToString(wl), QueryMix::Single(wl),
+                                         bench::DvfsPlatform(), options);
+    const double mu_qph =
+        prepared.profile.service_rate_per_second * kSecondsPerHour;
+
+    // Standard in-centroid evaluation.
+    const auto cases = MakeCases(prepared.profile, prepared.test_rows);
+    const HybridModel hybrid = HybridModel::Train({&prepared.train});
+    const auto errors = EvaluateErrors(hybrid, cases);
+    for (size_t i = 0; i < cases.size(); ++i) {
+      const ProfileRow& row = cases[i].row;
+      (mu_qph > 40.0 ? by_service.hi : by_service.low).push_back(errors[i]);
+      (row.utilization > 0.60 ? by_util.hi : by_util.low).push_back(errors[i]);
+      (row.timeout_seconds > 100.0 ? by_timeout.hi : by_timeout.low)
+          .push_back(errors[i]);
+      (row.budget_fraction > 0.40 ? by_budget.hi : by_budget.low)
+          .push_back(errors[i]);
+      cluster_in.push_back(errors[i]);
+    }
+
+    // Cluster in/out: drop the 75% arrival-rate and 60/70/120 s timeout
+    // centroids from training (the paper's linear-interpolation study) and
+    // predict exactly those conditions.
+    auto is_out = [](const ProfileRow& row) {
+      const bool out_util = row.utilization == 0.75;
+      const bool out_timeout = row.timeout_seconds == 60.0 ||
+                               row.timeout_seconds == 70.0 ||
+                               row.timeout_seconds == 120.0;
+      return out_util || out_timeout;
+    };
+    WorkloadProfile reduced_train = prepared.profile;
+    reduced_train.rows.clear();
+    std::vector<ProfileRow> out_rows;
+    for (const auto& row : prepared.profile.rows) {
+      (is_out(row) ? out_rows : reduced_train.rows).push_back(row);
+    }
+    const HybridModel reduced = HybridModel::Train({&reduced_train});
+    const auto out_cases = MakeCases(prepared.profile, out_rows);
+    for (double err : EvaluateErrors(reduced, out_cases)) {
+      cluster_out.push_back(err);
+    }
+    std::cout << "  evaluated " << ToString(wl) << "\n";
+  }
+
+  TextTable table({"Factor", "hi group", "low group"});
+  auto add = [&](const std::string& name, const Grouped& grouped) {
+    table.AddRow({name, TextTable::Pct(Median(grouped.hi)),
+                  TextTable::Pct(Median(grouped.low))});
+  };
+  add("service rate (40 qph)", by_service);
+  add("utilization (60%)", by_util);
+  add("timeout (100 s)", by_timeout);
+  add("budget (40%)", by_budget);
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Cluster sampling: in vs out of centroids");
+  TextTable cluster({"conditions", "median error"});
+  const double in_median = Median(cluster_in);
+  const double out_median = Median(cluster_out);
+  cluster.AddRow({"in centroids", TextTable::Pct(in_median)});
+  cluster.AddRow({"out of centroids", TextTable::Pct(out_median)});
+  cluster.Print(std::cout);
+  std::cout << "out/in error ratio: " << TextTable::Num(out_median / in_median, 2)
+            << "X  (paper: ~2.5X, out-of-centroid median ~10%)\n";
+  return 0;
+}

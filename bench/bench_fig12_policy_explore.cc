@@ -1,0 +1,204 @@
+// Reproduces Figure 12: model-driven timeout-policy exploration under CPU
+// throttling (the Section 4.3 cloud-workload study).
+//   (A) Expected response time vs timeout for Jacobi under big-burst
+//       (5X sprint rate, budget ~5 full sprints) and small-burst (3X
+//       sprint rate, budget ~10 sprints), with the Few-to-Many and
+//       Adrenaline baseline timeouts and the SLO line (1.15X no-throttle).
+//   (B) The same for the Jacobi+Mem mix (Section 4.3's Mix I text).
+//   (C) Response time vs sprint budget for fixed timeouts 50/80/130 s.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/cloud/burstable.h"
+#include "src/explore/explorer.h"
+
+namespace msprint {
+namespace {
+
+struct BurstSetup {
+  std::string name;
+  double sprint_cpu_fraction;  // of the full machine
+  double budget_fraction;      // of the refill window
+};
+
+// Jacobi's Section 4.3 numbers: throttled to 20%, sustained 14.8 qph.
+// big-burst: sprint at 74 qph (5X) with a budget of ~5 full query sprints
+// per refill epoch; small-burst: sprint at 44 qph (~3X) with ~10 sprints
+// of budget. Both budgets are scarce relative to the offered load — the
+// regime where timeout choice matters (Figure 1's lesson).
+constexpr double kRefillSeconds = 1000.0;
+const BurstSetup kBigBurst{"big-burst", 1.00, 0.10};
+const BurstSetup kSmallBurst{"small-burst", 0.60, 0.22};
+
+SprintPolicy ThrottlePlatform(const BurstSetup& setup) {
+  SprintPolicy policy;
+  policy.mechanism = MechanismId::kCpuThrottle;
+  policy.throttle_fraction = 0.20;
+  policy.sprint_cpu_fraction = setup.sprint_cpu_fraction;
+  policy.refill_seconds = kRefillSeconds;
+  policy.budget_fraction = setup.budget_fraction;
+  return policy;
+}
+
+struct ExploredSetup {
+  bench::PreparedWorkload prepared;
+  HybridModel model;
+  ModelInput base;
+  double few_to_many_timeout;
+  double adrenaline_timeout;
+  ExploreResult model_driven;
+};
+
+ExploredSetup Explore(const std::string& label, const QueryMix& mix,
+                      const BurstSetup& setup, uint64_t seed) {
+  bench::PipelineOptions options;
+  options.seed = seed;
+  bench::PreparedWorkload prepared =
+      bench::Prepare(label, mix, ThrottlePlatform(setup), options);
+  HybridModel model = HybridModel::Train({&prepared.train});
+
+  ModelInput base;
+  base.utilization = 0.80;  // 11.8 qph of 14.8 qph sustained
+  base.budget_fraction = setup.budget_fraction;
+  base.refill_seconds = kRefillSeconds;
+
+  const double few_to_many = FewToManyTimeout(prepared.profile, base);
+  const double adrenaline = AdrenalineTimeout(prepared.profile, base);
+  ExploreConfig explore;
+  explore.max_iterations = 120;
+  ExploreResult model_driven =
+      ExploreTimeout(model, prepared.profile, base, explore);
+  std::cout << "  explored " << label << "\n";
+  return ExploredSetup{std::move(prepared), std::move(model), base,
+                       few_to_many, adrenaline, std::move(model_driven)};
+}
+
+double PredictAt(const ExploredSetup& setup, double timeout) {
+  ModelInput input = setup.base;
+  input.timeout_seconds = timeout;
+  return setup.model.PredictResponseTime(setup.prepared.profile, input);
+}
+
+void PrintPanel(const std::string& title, const ExploredSetup& big,
+                const ExploredSetup& small, double slo) {
+  PrintBanner(std::cout, title);
+  TextTable table({"timeout (s)", "big-burst RT", "small-burst RT"});
+  for (double timeout = 0.0; timeout <= 300.0; timeout += 25.0) {
+    table.AddRow({TextTable::Num(timeout, 0),
+                  TextTable::Num(PredictAt(big, timeout), 1),
+                  TextTable::Num(PredictAt(small, timeout), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "SLO (1.15X no-throttle): " << TextTable::Num(slo, 1)
+            << " s\n";
+
+  TextTable policies({"policy", "timeout", "big-burst RT",
+                      "small-burst RT"});
+  policies.AddRow({"big/small-burst (timeout 0)", "0",
+                   TextTable::Num(PredictAt(big, 0.0), 1),
+                   TextTable::Num(PredictAt(small, 0.0), 1)});
+  policies.AddRow({"few-to-many",
+                   TextTable::Num(big.few_to_many_timeout, 0) + "/" +
+                       TextTable::Num(small.few_to_many_timeout, 0),
+                   TextTable::Num(PredictAt(big, big.few_to_many_timeout), 1),
+                   TextTable::Num(
+                       PredictAt(small, small.few_to_many_timeout), 1)});
+  policies.AddRow({"adrenaline (85th pct)",
+                   TextTable::Num(big.adrenaline_timeout, 0) + "/" +
+                       TextTable::Num(small.adrenaline_timeout, 0),
+                   TextTable::Num(PredictAt(big, big.adrenaline_timeout), 1),
+                   TextTable::Num(
+                       PredictAt(small, small.adrenaline_timeout), 1)});
+  policies.AddRow({"model-driven (annealing)",
+                   TextTable::Num(big.model_driven.best_timeout_seconds, 0) +
+                       "/" +
+                       TextTable::Num(small.model_driven.best_timeout_seconds,
+                                      0),
+                   TextTable::Num(big.model_driven.best_response_time, 1),
+                   TextTable::Num(small.model_driven.best_response_time, 1)});
+  policies.Print(std::cout);
+  std::cout << "model-driven vs adrenaline (big-burst): "
+            << TextTable::Num(PredictAt(big, big.adrenaline_timeout) /
+                                  big.model_driven.best_response_time, 2)
+            << "X;  vs few-to-many: "
+            << TextTable::Num(PredictAt(big, big.few_to_many_timeout) /
+                                  big.model_driven.best_response_time, 2)
+            << "X\n";
+}
+
+}  // namespace
+}  // namespace msprint
+
+int main() {
+  using namespace msprint;
+
+  // SLO reference: Jacobi at its 11.8 qph arrival rate with no throttling.
+  const auto jacobi_cloud = CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi,
+                                                         0.8);
+  const double jacobi_slo = kSloFactor * NoThrottleResponseTime(jacobi_cloud,
+                                                                91);
+
+  // (A) Jacobi.
+  const auto jacobi_big =
+      Explore("Jacobi/big", QueryMix::Single(WorkloadId::kJacobi), kBigBurst,
+              81);
+  const auto jacobi_small =
+      Explore("Jacobi/small", QueryMix::Single(WorkloadId::kJacobi),
+              kSmallBurst, 82);
+  PrintPanel("Fig 12(A): timeout exploration, Jacobi (CPU throttling)",
+             jacobi_big, jacobi_small, jacobi_slo);
+
+  // (B) Jacobi+Mem mix (Section 4.3's body text). The SLO reference is the
+  // mix on the normal (unthrottled, sustained-power) platform at the same
+  // absolute arrival rate the throttled study offers.
+  const auto mix_big =
+      Explore("JacobiMem/big", MakeMixJacobiMem(), kBigBurst, 83);
+  const auto mix_small =
+      Explore("JacobiMem/small", MakeMixJacobiMem(), kSmallBurst, 84);
+  double mix_slo;
+  {
+    TestbedConfig reference;
+    reference.mix = MakeMixJacobiMem();
+    reference.policy = bench::DvfsPlatform();
+    reference.disable_sprinting = true;
+    const double arrival_qph =
+        0.80 * Testbed::SustainedRatePerSecond(
+                   MakeMixJacobiMem(), ThrottlePlatform(kBigBurst)) *
+        kSecondsPerHour;
+    reference.utilization =
+        arrival_qph / (Testbed::SustainedRatePerSecond(
+                           MakeMixJacobiMem(), reference.policy) *
+                       kSecondsPerHour);
+    reference.num_queries = 5000;
+    reference.warmup_queries = 500;
+    reference.seed = 92;
+    mix_slo = kSloFactor * Testbed::Run(reference).mean_response_time;
+  }
+  PrintPanel("Fig 12(B): timeout exploration, Mix (Jacobi & Mem)", mix_big,
+             mix_small, mix_slo);
+
+  // (C) Budget sweep at fixed timeouts, Jacobi big-burst platform.
+  PrintBanner(std::cout,
+              "Fig 12(C): response time vs sprint budget (Jacobi, fixed "
+              "timeouts)");
+  TextTable budget_table({"budget (% of refill)", "timeout 50 s",
+                          "timeout 80 s", "timeout 130 s"});
+  for (double budget = 0.10; budget <= 0.305; budget += 0.05) {
+    std::vector<std::string> row = {TextTable::Pct(budget, 0)};
+    for (double timeout : {50.0, 80.0, 130.0}) {
+      ModelInput input = jacobi_big.base;
+      input.budget_fraction = budget;
+      input.timeout_seconds = timeout;
+      row.push_back(TextTable::Num(
+          jacobi_big.model.PredictResponseTime(jacobi_big.prepared.profile,
+                                               input), 1));
+    }
+    budget_table.AddRow(std::move(row));
+  }
+  budget_table.Print(std::cout);
+  std::cout << "\nPaper: under tight budgets loose timeouts win; under "
+               "loose budgets strict timeouts win (Few-to-Many's "
+               "intuition)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figure 14: how long it takes model-driven sprinting to pay
+// back its offline profiling cost. While a workload is profiled, the
+// provider earns nothing on that capacity; afterwards the improved
+// colocation rate compounds. The hybrid model becomes cost-effective after
+// ~2.5 days; the ANN variant needs several times more training data but
+// eventually pays back too. Over the 552-hour mean instance lifetime the
+// hybrid approach earns ~1.6X the AWS baseline.
+
+#include <iostream>
+
+#include "bench/cloud_study.h"
+
+int main() {
+  using namespace msprint;
+  using namespace msprint::bench;
+
+  PrintBanner(std::cout, "Fig 14: profiling-cost amortization (Combo III)");
+
+  // Build models for Combo III's workloads and measure both revenue rates.
+  std::vector<WorkloadId> ids;
+  for (const auto& workload : ComboThree()) {
+    ids.push_back(workload.id);
+  }
+  WorkloadModelBank bank(ids);
+
+  const ColocationPlan aws_plan =
+      RunCombo(bank, ComboThree(), Approach::kAws, 901);
+  const ColocationPlan model_plan =
+      RunCombo(bank, ComboThree(), Approach::kModelDrivenSprinting, 901);
+
+  const double aws_rate = aws_plan.revenue_per_hour;
+  const double model_rate = model_plan.revenue_per_hour;
+  // Profiling cost follows the paper's schedule: 7.2 hours per workload
+  // (80% of sampling centroids) -> 28.8 hours for Combo III's four
+  // workloads. (Our testbed oversamples each centroid for statistical
+  // stability, so its raw virtual hours are not the deployment cost a
+  // provider would pay; see DESIGN.md.)
+  const double hybrid_profiling_hours = 7.2 * 4.0;
+  // The ANN direct model needs 6X-54X more training data (Section 3.1);
+  // use the optimistic end of that range.
+  const double ann_profiling_hours = hybrid_profiling_hours * 6.0;
+
+  std::cout << "aws rate: $" << TextTable::Num(aws_rate, 3)
+            << "/h; model-driven rate: $" << TextTable::Num(model_rate, 3)
+            << "/h; hybrid profiling cost: "
+            << TextTable::Num(hybrid_profiling_hours, 1) << " h (paper: "
+            << "28.8 h for 4 workloads)\n";
+
+  TextTable table({"hours", "aws revenue", "hybrid revenue", "ann revenue"});
+  const auto hybrid_series =
+      AmortizationSeries(aws_rate, model_rate, hybrid_profiling_hours,
+                         kMeanInstanceLifetimeHours, 1.0);
+  const auto ann_series =
+      AmortizationSeries(aws_rate, model_rate, ann_profiling_hours,
+                         kMeanInstanceLifetimeHours, 1.0);
+  for (size_t i = 0; i < hybrid_series.size(); i += 50) {
+    table.AddRow({TextTable::Num(hybrid_series[i].hours, 0),
+                  "$" + TextTable::Num(hybrid_series[i].aws_revenue, 2),
+                  "$" + TextTable::Num(hybrid_series[i].model_revenue, 2),
+                  "$" + TextTable::Num(ann_series[i].model_revenue, 2)});
+  }
+  table.Print(std::cout);
+
+  auto crossover = [](const std::vector<RevenuePoint>& series) {
+    for (const auto& point : series) {
+      if (point.model_revenue > point.aws_revenue) {
+        return point.hours;
+      }
+    }
+    return -1.0;
+  };
+  const double hybrid_crossover = crossover(hybrid_series);
+  const double ann_crossover = crossover(ann_series);
+  std::cout << "hybrid pays back after "
+            << TextTable::Num(hybrid_crossover, 0) << " h ("
+            << TextTable::Num(hybrid_crossover / 24.0, 1)
+            << " days; paper ~2.5 days); ann after "
+            << (ann_crossover < 0.0 ? "beyond lifetime"
+                                    : TextTable::Num(ann_crossover, 0) + " h")
+            << "\n";
+  const double lifetime_ratio = hybrid_series.back().model_revenue /
+                                hybrid_series.back().aws_revenue;
+  std::cout << "lifetime (552 h) revenue ratio, hybrid vs aws: "
+            << TextTable::Num(lifetime_ratio, 2) << "X (paper: 1.6X)\n";
+  return 0;
+}

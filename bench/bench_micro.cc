@@ -1,0 +1,149 @@
+// Google-benchmark microbenchmarks for the library's hot primitives: the
+// event-driven simulator (per-query cost), the Algorithm 1 tick loop, the
+// ground-truth testbed, random-forest fit/predict, ANN prediction and the
+// effective-rate calibration search.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/effective_rate.h"
+#include "src/core/models.h"
+#include "src/ml/neural_net.h"
+#include "src/sim/tick_simulator.h"
+#include "src/testbed/testbed.h"
+
+namespace msprint {
+namespace {
+
+SimConfig MicroSimConfig(const Distribution& service, size_t queries) {
+  SimConfig config;
+  config.arrival_rate_per_second = 0.8 / 70.0;
+  config.service = &service;
+  config.sprint_speedup = 1.4;
+  config.timeout_seconds = 80.0;
+  config.budget_capacity_seconds = 40.0;
+  config.budget_refill_seconds = 200.0;
+  config.num_queries = queries;
+  config.seed = 11;
+  return config;
+}
+
+void BM_SimulateQueue(benchmark::State& state) {
+  const LognormalDistribution service(70.0, 0.2);
+  const SimConfig config =
+      MicroSimConfig(service, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateQueue(config).mean_response_time);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TickSimulator(benchmark::State& state) {
+  const LognormalDistribution service(70.0, 0.2);
+  TickSimConfig config;
+  config.base = MicroSimConfig(service, static_cast<size_t>(state.range(0)));
+  config.tick_seconds = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateQueueTicked(config).mean_response_time);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TickSimulator)->Arg(200)->Arg(1000);
+
+void BM_TestbedRun(benchmark::State& state) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.mechanism = MechanismId::kDvfs;
+  config.utilization = 0.8;
+  config.num_queries = static_cast<size_t>(state.range(0));
+  config.warmup_queries = config.num_queries / 10;
+  config.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Testbed::Run(config).mean_response_time);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TestbedRun)->Arg(1000)->Arg(10000);
+
+Dataset SyntheticDataset(size_t rows) {
+  Dataset data(ModelFeatureNames());
+  Rng rng(5);
+  for (size_t i = 0; i < rows; ++i) {
+    const double util = 0.3 + 0.65 * rng.NextDouble();
+    const double timeout = 200.0 * rng.NextDouble();
+    const double budget = 0.1 + 0.7 * rng.NextDouble();
+    const double mu = 51.0;
+    const double mu_m = 74.0;
+    data.Add({util * mu, mu, mu_m, util, 0.0, timeout, 200.0, budget},
+             mu_m * (0.8 + 0.2 * rng.NextDouble()) - 10.0 * util);
+  }
+  return data;
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const Dataset data = SyntheticDataset(static_cast<size_t>(state.range(0)));
+  RandomForestConfig config;
+  config.anchor_feature = MarginalRateFeatureIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomForest::Fit(data, config).TreeCount());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(100)->Arg(500);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const Dataset data = SyntheticDataset(500);
+  RandomForestConfig config;
+  config.anchor_feature = MarginalRateFeatureIndex();
+  const RandomForest forest = RandomForest::Fit(data, config);
+  const std::vector<double> features = {40.0, 51.0, 74.0, 0.8,
+                                        0.0,  90.0, 200.0, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(features));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_NeuralNetPredict(benchmark::State& state) {
+  const Dataset data = SyntheticDataset(200);
+  NeuralNetConfig config;
+  config.hidden_layers = {64, 64, 64};
+  config.epochs = 20;
+  const NeuralNet net = NeuralNet::Fit(data, config);
+  const std::vector<double> features = {40.0, 51.0, 74.0, 0.8,
+                                        0.0,  90.0, 200.0, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(features));
+  }
+}
+BENCHMARK(BM_NeuralNetPredict);
+
+void BM_CalibrationSearch(benchmark::State& state) {
+  WorkloadProfile profile;
+  profile.service_rate_per_second = 1.0 / 70.0;
+  profile.marginal_rate_per_second = 1.45 / 70.0;
+  Rng rng(7);
+  const LognormalDistribution jitter(70.0, 0.2);
+  for (int i = 0; i < 500; ++i) {
+    profile.service_time_samples.push_back(jitter.Sample(rng));
+  }
+  ProfileRow row;
+  row.utilization = 0.75;
+  row.timeout_seconds = 80.0;
+  row.refill_seconds = 200.0;
+  row.budget_fraction = 0.4;
+  row.observed_mean_response_time = 180.0;
+  const EmpiricalDistribution service(profile.service_time_samples);
+  CalibrationConfig config;
+  config.sim_queries = 4000;
+  config.sim_warmup = 400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CalibrateEffectiveSpeedup(profile, row, service, config));
+  }
+}
+BENCHMARK(BM_CalibrationSearch);
+
+}  // namespace
+}  // namespace msprint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace msprint {
+namespace bench {
+
+size_t PoolSize() {
+  return std::max<size_t>(2, std::thread::hardware_concurrency() * 2);
+}
+
+SprintPolicy DvfsPlatform() {
+  SprintPolicy policy;
+  policy.mechanism = MechanismId::kDvfs;
+  return policy;
+}
+
+NeuralNetConfig BenchAnnConfig() {
+  NeuralNetConfig config;
+  config.hidden_layers = {64, 64, 64};
+  config.epochs = 300;
+  return config;
+}
+
+PreparedWorkload Prepare(const std::string& label, const QueryMix& mix,
+                         const SprintPolicy& platform,
+                         const PipelineOptions& options) {
+  PreparedWorkload prepared;
+  prepared.label = label;
+
+  ProfilerConfig profiler;
+  profiler.sample_grid_points = options.grid_points;
+  profiler.queries_per_run = options.queries_per_run;
+  profiler.warmup_queries = options.queries_per_run / 10;
+  profiler.replications_per_point = options.replications;
+  profiler.seed = options.seed;
+  profiler.pool_size = PoolSize();
+  prepared.profile = ProfileWorkload(mix, platform, profiler);
+
+  CalibrationConfig calibration;
+  CalibrateProfile(prepared.profile, calibration, PoolSize());
+
+  Rng rng(DeriveSeed(options.seed, 0x5917));
+  ProfileSplit split =
+      SplitProfileRows(prepared.profile, options.train_fraction, rng);
+  prepared.train = std::move(split.train);
+  prepared.test_rows = std::move(split.test_rows);
+  return prepared;
+}
+
+void PrintErrorCdf(
+    std::ostream& os, const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  PrintBanner(os, title);
+  std::vector<std::string> header = {"error<="};
+  for (const auto& [name, values] : series) {
+    (void)values;
+    header.push_back(name);
+  }
+  TextTable table(std::move(header));
+  const std::vector<double> thresholds = {0.0,  0.05, 0.10, 0.15, 0.20,
+                                          0.25, 0.30, 0.35, 0.40};
+  for (double threshold : thresholds) {
+    std::vector<std::string> row = {TextTable::Pct(threshold, 0)};
+    for (const auto& [name, values] : series) {
+      (void)name;
+      const EmpiricalCdf cdf(values);
+      row.push_back(TextTable::Pct(cdf.Probability(threshold + 1e-12), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+}  // namespace bench
+}  // namespace msprint

@@ -1,0 +1,77 @@
+// Shared helpers for the experiment-reproduction benches: standard
+// profiling/calibration settings, model training wrappers, error
+// aggregation by condition, and CDF printing. Each bench binary reproduces
+// one table or figure of the paper (see DESIGN.md's experiment index).
+
+#ifndef MSPRINT_BENCH_BENCH_UTIL_H_
+#define MSPRINT_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/effective_rate.h"
+#include "src/core/evaluation.h"
+#include "src/core/models.h"
+
+namespace msprint {
+namespace bench {
+
+// Threads used by profiling/calibration pools. The harness machine is
+// small; keep the queue saturated without oversubscribing wildly.
+size_t PoolSize();
+
+struct PipelineOptions {
+  size_t grid_points = 280;
+  size_t queries_per_run = 8000;
+  size_t replications = 3;
+  double train_fraction = 0.8;
+  uint64_t seed = 42;
+};
+
+// A fully prepared evaluation context for one workload mix on one platform:
+// profiled, calibrated, split into train/test.
+struct PreparedWorkload {
+  std::string label;
+  WorkloadProfile profile;    // full profile (all rows)
+  WorkloadProfile train;      // training subset
+  std::vector<ProfileRow> test_rows;
+};
+
+// Profiles `mix` on `platform`, calibrates effective sprint rates, and
+// splits rows for evaluation.
+PreparedWorkload Prepare(const std::string& label, const QueryMix& mix,
+                         const SprintPolicy& platform,
+                         const PipelineOptions& options = {});
+
+// The DVFS platform used throughout Section 3.
+SprintPolicy DvfsPlatform();
+
+// Default bench ANN configuration. Smaller than the paper's 10x100 shape
+// (NeuralNetConfig::PaperShape()) so the full bench suite stays fast; the
+// qualitative direct-vs-hybrid result is insensitive to the layer count.
+NeuralNetConfig BenchAnnConfig();
+
+// Median of `errors` restricted to rows matching `predicate`.
+template <typename Pred>
+double MedianErrorWhere(const std::vector<EvalCase>& cases,
+                        const std::vector<double>& errors, Pred predicate) {
+  std::vector<double> subset;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (predicate(cases[i].row)) {
+      subset.push_back(errors[i]);
+    }
+  }
+  return subset.empty() ? 0.0 : Median(std::move(subset));
+}
+
+// Prints an error CDF as rows of (threshold, cumulative fraction), matching
+// the paper's Fig 8/9 axes (0%..>40% relative error).
+void PrintErrorCdf(std::ostream& os, const std::string& title,
+                   const std::vector<std::pair<std::string,
+                                               std::vector<double>>>& series);
+
+}  // namespace bench
+}  // namespace msprint
+
+#endif  // MSPRINT_BENCH_BENCH_UTIL_H_

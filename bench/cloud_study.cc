@@ -1,0 +1,183 @@
+#include "bench/cloud_study.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace msprint {
+namespace bench {
+
+namespace {
+
+// Keys sprint_cpu by percentage to avoid double-compare issues.
+int Key(double sprint_cpu) { return static_cast<int>(sprint_cpu * 100.0); }
+
+SprintPolicy VariantPlatform(double sprint_cpu) {
+  SprintPolicy policy;
+  policy.mechanism = MechanismId::kCpuThrottle;
+  policy.throttle_fraction = kAwsT2ThrottleFraction;
+  policy.sprint_cpu_fraction = sprint_cpu;
+  policy.refill_seconds = kStudyRefillSeconds;
+  return policy;
+}
+
+// Safety margin on the predicted SLO check: admission is verified against
+// the measured testbed, so the search leaves slight headroom for model
+// error.
+constexpr double kPredictionMargin = 0.97;
+
+}  // namespace
+
+const std::vector<double>& SprintCpuCandidates() {
+  static const std::vector<double> kCandidates = {0.60, 0.80, 1.00};
+  return kCandidates;
+}
+
+const std::vector<double>& BudgetCandidates() {
+  static const std::vector<double> kCandidates = {
+      0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20, 0.25, 0.30, 0.40, 0.60};
+  return kCandidates;
+}
+
+std::string ToString(Approach approach) {
+  switch (approach) {
+    case Approach::kAws:
+      return "aws";
+    case Approach::kModelDrivenBudgeting:
+      return "model-driven budgeting";
+    case Approach::kModelDrivenSprinting:
+      return "model-driven sprinting";
+  }
+  return "unknown";
+}
+
+WorkloadModelBank::WorkloadModelBank(const std::vector<WorkloadId>& workloads,
+                                     uint64_t seed) {
+  for (WorkloadId id : workloads) {
+    for (double sprint_cpu : SprintCpuCandidates()) {
+      PipelineOptions options;
+      options.grid_points = 220;
+      options.seed = DeriveSeed(seed, static_cast<uint64_t>(id) * 131 +
+                                          static_cast<uint64_t>(Key(sprint_cpu)));
+      auto prepared = Prepare(
+          msprint::ToString(id) + "@" + std::to_string(Key(sprint_cpu)),
+          QueryMix::Single(id), VariantPlatform(sprint_cpu), options);
+      PlatformModel entry;
+      entry.model =
+          std::make_unique<HybridModel>(HybridModel::Train({&prepared.train}));
+      entry.profile = std::move(prepared.profile);
+      total_profiling_hours_ += entry.profile.total_profiling_hours;
+      models_.emplace(std::make_pair(id, Key(sprint_cpu)), std::move(entry));
+      std::cout << "  trained model for " << msprint::ToString(id)
+                << " at sprint share " << Key(sprint_cpu) << "%\n";
+    }
+  }
+}
+
+const PlatformModel& WorkloadModelBank::Get(WorkloadId id,
+                                            double sprint_cpu) const {
+  return models_.at(std::make_pair(id, Key(sprint_cpu)));
+}
+
+PolicyChoice FindCheapestThrottlePolicy(const WorkloadModelBank& bank,
+                                        const CloudWorkload& workload,
+                                        double slo_response_time,
+                                        bool optimize_timeout) {
+  // Enumerate candidates ordered by CPU commitment.
+  struct Candidate {
+    double sprint_cpu;
+    double budget;
+    double commitment;
+  };
+  std::vector<Candidate> candidates;
+  for (double sprint_cpu : SprintCpuCandidates()) {
+    for (double budget : BudgetCandidates()) {
+      SprintPolicy policy = VariantPlatform(sprint_cpu);
+      policy.budget_fraction = budget;
+      candidates.push_back({sprint_cpu, budget, CpuCommitment(policy)});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.commitment < b.commitment;
+            });
+
+  for (const Candidate& candidate : candidates) {
+    const PlatformModel& platform = bank.Get(workload.id,
+                                             candidate.sprint_cpu);
+    ModelInput input;
+    input.utilization = workload.utilization;
+    input.budget_fraction = candidate.budget;
+    input.refill_seconds = kStudyRefillSeconds;
+    input.timeout_seconds = 0.0;
+
+    double timeout = 0.0;
+    double predicted;
+    if (optimize_timeout) {
+      ExploreConfig explore;
+      explore.max_iterations = 40;
+      explore.timeout_max_seconds = 250.0;
+      const ExploreResult explored =
+          ExploreTimeout(*platform.model, platform.profile, input, explore);
+      timeout = explored.best_timeout_seconds;
+      predicted = explored.best_response_time;
+    } else {
+      predicted =
+          platform.model->PredictResponseTime(platform.profile, input);
+    }
+    if (predicted <= kPredictionMargin * slo_response_time) {
+      PolicyChoice choice;
+      choice.policy = VariantPlatform(candidate.sprint_cpu);
+      choice.policy.budget_fraction = candidate.budget;
+      choice.policy.timeout_seconds = timeout;
+      choice.predicted_response_time = predicted;
+      choice.feasible = true;
+      return choice;
+    }
+  }
+  PolicyChoice fallback;
+  fallback.policy = AwsBurstablePolicy();
+  return fallback;
+}
+
+ColocationPlan RunCombo(const WorkloadModelBank& bank,
+                        const std::vector<CloudWorkload>& combo,
+                        Approach approach, uint64_t seed) {
+  auto policy_for = [&](const CloudWorkload& workload) -> SprintPolicy {
+    if (approach == Approach::kAws) {
+      return AwsBurstablePolicy();
+    }
+    const double slo =
+        kSloFactor *
+        NoThrottleResponseTime(
+            workload, DeriveSeed(seed, 77 + static_cast<uint64_t>(workload.id)));
+    return FindCheapestThrottlePolicy(
+               bank, workload, slo,
+               approach == Approach::kModelDrivenSprinting)
+        .policy;
+  };
+  return Colocate(ToString(approach), combo, policy_for, seed);
+}
+
+std::vector<CloudWorkload> ComboOne() {
+  return {CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7)};
+}
+
+std::vector<CloudWorkload> ComboTwo() {
+  return {CloudWorkload::AtAwsBaseline(WorkloadId::kSparkStream, 0.8),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kSparkStream, 0.8),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7)};
+}
+
+std::vector<CloudWorkload> ComboThree() {
+  return {CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.5),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kSparkStream, 0.6),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kBfs, 0.7),
+          CloudWorkload::AtAwsBaseline(WorkloadId::kKnn, 0.8)};
+}
+
+}  // namespace bench
+}  // namespace msprint

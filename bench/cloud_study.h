@@ -1,0 +1,84 @@
+// Shared machinery for the Section 4.4 cloud-provider benches (Fig 13 and
+// Fig 14): profiles each tenant workload on the CPU-throttling platform at
+// the candidate sprint rates, trains hybrid models, and searches sprint
+// policies that meet the colocation SLO at minimum CPU commitment.
+
+#ifndef MSPRINT_BENCH_CLOUD_STUDY_H_
+#define MSPRINT_BENCH_CLOUD_STUDY_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cloud/burstable.h"
+#include "src/explore/explorer.h"
+
+namespace msprint {
+namespace bench {
+
+// Candidate sprint CPU shares: the big-burst (100% of the machine, i.e.
+// the AWS 5X rate) and small-burst (~3X) settings of Section 4.3.
+const std::vector<double>& SprintCpuCandidates();
+
+// Budget fractions searched by the model-driven approaches.
+const std::vector<double>& BudgetCandidates();
+
+// The refill window used for model-driven policies; kept inside the
+// profiler's trained centroid range.
+inline constexpr double kStudyRefillSeconds = 1000.0;
+
+// A profiled + trained (workload, sprint_cpu) platform variant.
+struct PlatformModel {
+  WorkloadProfile profile;
+  std::unique_ptr<HybridModel> model;
+};
+
+// Bank of trained models keyed by (workload, sprint share).
+class WorkloadModelBank {
+ public:
+  // Profiles and trains every (workload, sprint_cpu) pair.
+  WorkloadModelBank(const std::vector<WorkloadId>& workloads,
+                    uint64_t seed = 321);
+
+  const PlatformModel& Get(WorkloadId id, double sprint_cpu) const;
+
+  double total_profiling_hours() const { return total_profiling_hours_; }
+
+ private:
+  std::map<std::pair<WorkloadId, int>, PlatformModel> models_;
+  double total_profiling_hours_ = 0.0;
+};
+
+// Finds the cheapest (smallest CPU commitment) throttle policy predicted
+// to meet `slo_response_time` for `workload`. When `optimize_timeout` is
+// false the timeout stays 0 ("model-driven budgeting"); otherwise the
+// annealing explorer tunes it ("model-driven sprinting"). Returns the AWS
+// policy shape with feasible=false when nothing fits.
+struct PolicyChoice {
+  SprintPolicy policy;
+  double predicted_response_time = 0.0;
+  bool feasible = false;
+};
+PolicyChoice FindCheapestThrottlePolicy(const WorkloadModelBank& bank,
+                                        const CloudWorkload& workload,
+                                        double slo_response_time,
+                                        bool optimize_timeout);
+
+// Runs one colocation combo under one of the three approaches.
+enum class Approach { kAws, kModelDrivenBudgeting, kModelDrivenSprinting };
+std::string ToString(Approach approach);
+
+ColocationPlan RunCombo(const WorkloadModelBank& bank,
+                        const std::vector<CloudWorkload>& combo,
+                        Approach approach, uint64_t seed);
+
+// The paper's three combos.
+std::vector<CloudWorkload> ComboOne();
+std::vector<CloudWorkload> ComboTwo();
+std::vector<CloudWorkload> ComboThree();
+
+}  // namespace bench
+}  // namespace msprint
+
+#endif  // MSPRINT_BENCH_CLOUD_STUDY_H_

@@ -1,0 +1,82 @@
+// Quickstart: the full model-driven sprinting pipeline in ~60 lines.
+//
+//   1. Profile a workload on the (simulated) sprinting server.
+//   2. Calibrate effective sprint rates against the timeout-aware
+//      queue simulator.
+//   3. Train the hybrid model (random decision forest + simulator).
+//   4. Predict response time for a policy you never measured.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/core/effective_rate.h"
+#include "src/core/models.h"
+
+using namespace msprint;
+
+int main() {
+  // 1. Profile Spark K-means on the DVFS platform. The profiler replays
+  //    the workload across cluster-sampled arrival rates, timeouts and
+  //    budgets (Section 2.1 of the paper).
+  SprintPolicy platform;
+  platform.mechanism = MechanismId::kDvfs;
+
+  ProfilerConfig profiler;
+  profiler.sample_grid_points = 150;  // keep the example snappy
+  profiler.queries_per_run = 4000;
+  profiler.pool_size = 4;
+
+  std::cout << "profiling Spark K-means on DVFS...\n";
+  WorkloadProfile profile = ProfileWorkload(
+      QueryMix::Single(WorkloadId::kSparkKmeans), platform, profiler);
+  std::cout << "  service rate mu   = "
+            << profile.service_rate_per_second * kSecondsPerHour << " qph\n"
+            << "  marginal rate mu_m = "
+            << profile.marginal_rate_per_second * kSecondsPerHour
+            << " qph (" << profile.MarginalSpeedup() << "X speedup)\n";
+
+  // 2. Calibrate: find the effective sprint rate that aligns the
+  //    first-principles simulator with each observed response time
+  //    (Equation 2).
+  std::cout << "calibrating effective sprint rates...\n";
+  CalibrationConfig calibration;
+  calibration.sim_queries = 8000;
+  CalibrateProfile(profile, calibration, /*pool_size=*/4);
+
+  // 3. Train the hybrid model on the calibrated rows.
+  const HybridModel model = HybridModel::Train({&profile});
+
+  // 4. Ask a what-if question: response time under a policy that was
+  //    never measured (utilization 70%, timeout 95 s, budget 35% of a
+  //    400 s refill window).
+  ModelInput what_if;
+  what_if.utilization = 0.70;
+  what_if.timeout_seconds = 95.0;
+  what_if.refill_seconds = 400.0;
+  what_if.budget_fraction = 0.35;
+
+  const double mu_e = model.PredictEffectiveRateQph(profile, what_if);
+  const double rt = model.PredictResponseTime(profile, what_if);
+  std::cout << "what-if policy " << what_if.timeout_seconds << "s timeout / "
+            << what_if.budget_fraction * 100 << "% budget at "
+            << what_if.utilization * 100 << "% utilization:\n"
+            << "  predicted effective sprint rate = " << mu_e << " qph\n"
+            << "  predicted mean response time    = " << rt << " s\n";
+
+  // Compare against what the policy would actually do (ground truth).
+  TestbedConfig check;
+  check.mix = QueryMix::Single(WorkloadId::kSparkKmeans);
+  check.policy = platform;
+  check.policy.timeout_seconds = what_if.timeout_seconds;
+  check.policy.refill_seconds = what_if.refill_seconds;
+  check.policy.budget_fraction = what_if.budget_fraction;
+  check.utilization = what_if.utilization;
+  check.num_queries = 20000;
+  check.warmup_queries = 2000;
+  check.seed = 99;
+  const double observed = Testbed::Run(check).mean_response_time;
+  std::cout << "  observed on the server          = " << observed << " s ("
+            << AbsoluteRelativeError(rt, observed) * 100 << "% error)\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Burstable-instance colocation for cloud providers (Section 4.4).
+//
+// Models AWS EC2 T-class semantics: each hosted workload gets a sustained
+// CPU share (20% for T2.small), can sprint to a faster rate, and holds a
+// budget of sprint-seconds per hour (720 for T2.small). A workload may
+// colocate only if its response time under the assigned policy stays
+// within the SLO — 1.15X of its response time with throttling off — and
+// total CPU commitment may not oversubscribe the node.
+
+#ifndef MSPRINT_SRC_CLOUD_BURSTABLE_H_
+#define MSPRINT_SRC_CLOUD_BURSTABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sprint/policy.h"
+#include "src/workload/workload.h"
+
+namespace msprint {
+
+// AWS T2.small constants quoted in the paper (Section 4.4 / [4]).
+inline constexpr double kAwsT2SmallPricePerHour = 0.026;
+inline constexpr double kAwsT2ThrottleFraction = 0.20;
+inline constexpr double kAwsT2SprintMultiplier = 5.0;
+inline constexpr double kAwsT2SprintSecondsPerHour = 720.0;
+// Mean virtualized-server lifetime (Datadog [9], Section 1): 552 hours.
+inline constexpr double kMeanInstanceLifetimeHours = 552.0;
+// SLO: response time may grow at most 15% relative to no throttling.
+inline constexpr double kSloFactor = 1.15;
+
+// A tenant workload to host: identified by its binary (catalog id) and its
+// absolute arrival rate. `utilization` is quoted relative to the AWS
+// baseline sustained rate (20% of burst throughput), matching Section 4.4's
+// "Jacobi service running at 70% utilization".
+struct CloudWorkload {
+  WorkloadId id = WorkloadId::kJacobi;
+  double utilization = 0.7;
+  double arrival_qph = 0.0;
+
+  static CloudWorkload AtAwsBaseline(WorkloadId id, double utilization);
+
+  std::string Label() const;
+};
+
+// The fixed AWS policy: 20% sustained share, 5X sprint, 720 sprint-seconds
+// per hour, sprint whenever credits exist (timeout 0).
+SprintPolicy AwsBurstablePolicy();
+
+// Response time of `workload` with CPU throttling off (the SLO reference),
+// measured on the ground-truth testbed.
+double NoThrottleResponseTime(const CloudWorkload& workload, uint64_t seed);
+
+// Response time of `workload` under `policy` (a kCpuThrottle policy),
+// measured on the ground-truth testbed.
+double ThrottledResponseTime(const CloudWorkload& workload,
+                             const SprintPolicy& policy, uint64_t seed);
+
+// Full response-time sample under `policy` for tail-latency accounting.
+std::vector<double> ThrottledResponseTimes(const CloudWorkload& workload,
+                                           const SprintPolicy& policy,
+                                           uint64_t seed,
+                                           size_t num_queries = 4000);
+
+// CPU share a policy commits on the node: the sustained slice plus the
+// sprint slice weighted by its duty cycle (budget fraction of wall time).
+double CpuCommitment(const SprintPolicy& policy);
+
+// One hosted (or rejected) workload in a colocation plan.
+struct PlacedWorkload {
+  CloudWorkload workload;
+  SprintPolicy policy;
+  double slo_response_time = 0.0;
+  double measured_response_time = 0.0;
+  bool meets_slo = false;
+  bool admitted = false;
+};
+
+struct ColocationPlan {
+  std::string approach;
+  std::vector<PlacedWorkload> placements;
+  double total_cpu_commitment = 0.0;
+  size_t admitted_count = 0;
+  double revenue_per_hour = 0.0;  // admitted_count * price
+
+  // Maximum possible revenue if every CPU slice were sellable at the AWS
+  // baseline share (the "max" line in Fig 13).
+  static double MaxRevenuePerHour() {
+    return kAwsT2SmallPricePerHour / kAwsT2ThrottleFraction;
+  }
+};
+
+// Admits workloads in order under a fixed per-workload policy chosen by
+// `policy_for`, enforcing both the SLO and the no-oversubscription rule.
+// `policy_for` may return policies that differ per workload (model-driven)
+// or the constant AWS policy.
+ColocationPlan Colocate(
+    const std::string& approach,
+    const std::vector<CloudWorkload>& workloads,
+    const std::function<SprintPolicy(const CloudWorkload&)>& policy_for,
+    uint64_t seed);
+
+// Cumulative revenue trajectories for the Fig 14 amortization study: the
+// provider earns the AWS baseline rate immediately, while a model-driven
+// deployment earns nothing during profiling and the improved rate after.
+struct RevenuePoint {
+  double hours;
+  double aws_revenue;
+  double model_revenue;
+};
+std::vector<RevenuePoint> AmortizationSeries(double aws_rate_per_hour,
+                                             double model_rate_per_hour,
+                                             double profiling_hours,
+                                             double horizon_hours,
+                                             double step_hours);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_CLOUD_BURSTABLE_H_

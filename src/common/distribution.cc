@@ -1,0 +1,339 @@
+#include "src/common/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace msprint {
+
+std::string ToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kExponential:
+      return "exponential";
+    case DistributionKind::kPareto:
+      return "pareto";
+    case DistributionKind::kDeterministic:
+      return "deterministic";
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kLognormal:
+      return "lognormal";
+    case DistributionKind::kWeibull:
+      return "weibull";
+    case DistributionKind::kHyperexponential:
+      return "hyperexponential";
+    case DistributionKind::kEmpirical:
+      return "empirical";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Exponential
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("exponential rate must be > 0");
+  }
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  return -std::log(rng.NextDoubleOpenZero()) / rate_;
+}
+
+double ExponentialDistribution::Mean() const { return 1.0 / rate_; }
+
+double ExponentialDistribution::Variance() const {
+  return 1.0 / (rate_ * rate_);
+}
+
+std::string ExponentialDistribution::Describe() const {
+  std::ostringstream os;
+  os << "exponential(rate=" << rate_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------------- Pareto
+
+ParetoDistribution::ParetoDistribution(double alpha, double scale,
+                                       double cap_factor)
+    : alpha_(alpha), scale_(scale), cap_factor_(cap_factor) {
+  if (alpha <= 0.0 || scale <= 0.0 || cap_factor <= 1.0) {
+    throw std::invalid_argument("invalid pareto parameters");
+  }
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDoubleOpenZero();
+  const double raw = scale_ / std::pow(u, 1.0 / alpha_);
+  return std::min(raw, scale_ * cap_factor_);
+}
+
+double ParetoDistribution::TruncatedMean() const {
+  // E[min(X, c*s)] for Pareto(alpha, s):
+  //   alpha != 1: s * alpha/(alpha-1) * (1 - c^(1-alpha)) + s*c * c^(-alpha)
+  // Derived from integrating the survival function up to the cap.
+  const double c = cap_factor_;
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return scale_ * (1.0 + std::log(c));
+  }
+  const double body =
+      alpha_ / (alpha_ - 1.0) * (1.0 - std::pow(c, 1.0 - alpha_));
+  const double atom = std::pow(c, -alpha_) * c;
+  return scale_ * (body + atom);
+}
+
+double ParetoDistribution::TruncatedSecondMoment() const {
+  // E[min(X, c*s)^2] via direct integration of x^2 f(x) plus the cap atom.
+  const double c = cap_factor_;
+  double body;
+  if (std::abs(alpha_ - 2.0) < 1e-12) {
+    body = 2.0 * std::log(c);
+  } else {
+    body = alpha_ / (alpha_ - 2.0) * (1.0 - std::pow(c, 2.0 - alpha_));
+  }
+  const double atom = std::pow(c, -alpha_) * c * c;
+  return scale_ * scale_ * (body + atom);
+}
+
+double ParetoDistribution::Mean() const { return TruncatedMean(); }
+
+double ParetoDistribution::Variance() const {
+  const double m = TruncatedMean();
+  return TruncatedSecondMoment() - m * m;
+}
+
+std::string ParetoDistribution::Describe() const {
+  std::ostringstream os;
+  os << "pareto(alpha=" << alpha_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+ParetoDistribution ParetoDistribution::WithMean(double alpha,
+                                                double target_mean,
+                                                double cap_factor) {
+  ParetoDistribution unit(alpha, 1.0, cap_factor);
+  const double unit_mean = unit.TruncatedMean();
+  return ParetoDistribution(alpha, target_mean / unit_mean, cap_factor);
+}
+
+// -------------------------------------------------------------- Deterministic
+
+DeterministicDistribution::DeterministicDistribution(double value)
+    : value_(value) {
+  if (value < 0.0) {
+    throw std::invalid_argument("deterministic value must be >= 0");
+  }
+}
+
+double DeterministicDistribution::Sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+double DeterministicDistribution::Mean() const { return value_; }
+
+double DeterministicDistribution::Variance() const { return 0.0; }
+
+std::string DeterministicDistribution::Describe() const {
+  std::ostringstream os;
+  os << "deterministic(" << value_ << ")";
+  return os.str();
+}
+
+// -------------------------------------------------------------------- Uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || hi < lo) {
+    throw std::invalid_argument("invalid uniform bounds");
+  }
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.NextDouble();
+}
+
+double UniformDistribution::Mean() const { return 0.5 * (lo_ + hi_); }
+
+double UniformDistribution::Variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+std::string UniformDistribution::Describe() const {
+  std::ostringstream os;
+  os << "uniform(" << lo_ << ", " << hi_ << ")";
+  return os.str();
+}
+
+// ------------------------------------------------------------------ Lognormal
+
+LognormalDistribution::LognormalDistribution(double mean, double cov)
+    : mean_(mean), cov_(cov) {
+  if (mean <= 0.0 || cov <= 0.0) {
+    throw std::invalid_argument("lognormal mean and cov must be > 0");
+  }
+  const double sigma2 = std::log(1.0 + cov * cov);
+  sigma_ = std::sqrt(sigma2);
+  mu_ = std::log(mean) - 0.5 * sigma2;
+}
+
+double LognormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LognormalDistribution::Mean() const { return mean_; }
+
+double LognormalDistribution::Variance() const {
+  return mean_ * mean_ * cov_ * cov_;
+}
+
+std::string LognormalDistribution::Describe() const {
+  std::ostringstream os;
+  os << "lognormal(mean=" << mean_ << ", cov=" << cov_ << ")";
+  return os.str();
+}
+
+// -------------------------------------------------------------------- Weibull
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("weibull shape and scale must be > 0");
+  }
+}
+
+double WeibullDistribution::Sample(Rng& rng) const {
+  // Inverse CDF: scale * (-ln U)^(1/k).
+  return scale_ * std::pow(-std::log(rng.NextDoubleOpenZero()),
+                           1.0 / shape_);
+}
+
+double WeibullDistribution::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDistribution::Variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string WeibullDistribution::Describe() const {
+  std::ostringstream os;
+  os << "weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+WeibullDistribution WeibullDistribution::WithMean(double shape,
+                                                  double target_mean) {
+  const double scale = target_mean / std::tgamma(1.0 + 1.0 / shape);
+  return WeibullDistribution(shape, scale);
+}
+
+// ----------------------------------------------------------- Hyperexponential
+
+HyperexponentialDistribution::HyperexponentialDistribution(double p,
+                                                           double rate1,
+                                                           double rate2)
+    : p_(p), rate1_(rate1), rate2_(rate2) {
+  if (p < 0.0 || p > 1.0 || rate1 <= 0.0 || rate2 <= 0.0) {
+    throw std::invalid_argument("invalid hyperexponential parameters");
+  }
+}
+
+double HyperexponentialDistribution::Sample(Rng& rng) const {
+  const double rate = rng.NextDouble() < p_ ? rate1_ : rate2_;
+  return -std::log(rng.NextDoubleOpenZero()) / rate;
+}
+
+double HyperexponentialDistribution::Mean() const {
+  return p_ / rate1_ + (1.0 - p_) / rate2_;
+}
+
+double HyperexponentialDistribution::Variance() const {
+  const double second_moment =
+      2.0 * (p_ / (rate1_ * rate1_) + (1.0 - p_) / (rate2_ * rate2_));
+  const double mean = Mean();
+  return second_moment - mean * mean;
+}
+
+std::string HyperexponentialDistribution::Describe() const {
+  std::ostringstream os;
+  os << "hyperexponential(p=" << p_ << ", rate1=" << rate1_
+     << ", rate2=" << rate2_ << ")";
+  return os.str();
+}
+
+// ------------------------------------------------------------------ Empirical
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("empirical distribution needs samples");
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  mean_ = sum / static_cast<double>(samples_.size());
+  double ss = 0.0;
+  for (double s : samples_) {
+    ss += (s - mean_) * (s - mean_);
+  }
+  variance_ = ss / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  return samples_[rng.NextBounded(samples_.size())];
+}
+
+double EmpiricalDistribution::Mean() const { return mean_; }
+
+double EmpiricalDistribution::Variance() const { return variance_; }
+
+std::string EmpiricalDistribution::Describe() const {
+  std::ostringstream os;
+  os << "empirical(n=" << samples_.size() << ", mean=" << mean_ << ")";
+  return os.str();
+}
+
+// -------------------------------------------------------------------- Factory
+
+std::unique_ptr<Distribution> MakeDistribution(DistributionKind kind,
+                                               double mean) {
+  switch (kind) {
+    case DistributionKind::kExponential:
+      return std::make_unique<ExponentialDistribution>(1.0 / mean);
+    case DistributionKind::kPareto:
+      return std::make_unique<ParetoDistribution>(
+          ParetoDistribution::WithMean(0.5, mean));
+    case DistributionKind::kDeterministic:
+      return std::make_unique<DeterministicDistribution>(mean);
+    case DistributionKind::kUniform:
+      return std::make_unique<UniformDistribution>(0.5 * mean, 1.5 * mean);
+    case DistributionKind::kLognormal:
+      return std::make_unique<LognormalDistribution>(mean, 0.5);
+    case DistributionKind::kWeibull:
+      return std::make_unique<WeibullDistribution>(
+          WeibullDistribution::WithMean(0.7, mean));
+    case DistributionKind::kHyperexponential: {
+      // Balanced-means H2 with CoV ~ 1.6: 30% of draws at 3X the rate,
+      // 70% at a slower rate, tuned so the mean matches.
+      const double fast_rate = 3.0 / mean;
+      const double slow_rate =
+          0.7 / (mean - 0.3 / fast_rate);
+      return std::make_unique<HyperexponentialDistribution>(0.3, fast_rate,
+                                                            slow_rate);
+    }
+    case DistributionKind::kEmpirical:
+      throw std::invalid_argument(
+          "empirical distributions are built from recorded samples");
+  }
+  return nullptr;
+}
+
+}  // namespace msprint

@@ -1,0 +1,84 @@
+// Streaming and batch statistics used throughout profiling, modeling and
+// the experiment harnesses: Welford mean/variance, quantiles, empirical
+// CDFs, and the error metrics the paper reports (absolute relative error,
+// median error, coefficient of variation).
+
+#ifndef MSPRINT_SRC_COMMON_STATS_H_
+#define MSPRINT_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace msprint {
+
+// Single-pass mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void Add(double x);
+  void Merge(const StreamingStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  // Population variance (divides by n).
+  double variance() const;
+  double stddev() const;
+  // Coefficient of variation: stddev / mean (0 when mean is 0).
+  double cov() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of a sample using linear interpolation between order statistics
+// (type-7, the numpy/R default). q in [0,1]. Copies and sorts internally.
+double Quantile(std::vector<double> values, double q);
+
+// Median shorthand.
+double Median(std::vector<double> values);
+
+// Absolute relative error |predicted - observed| / observed.
+// Returns |predicted| when observed == 0.
+double AbsoluteRelativeError(double predicted, double observed);
+
+// Median of elementwise absolute relative errors. Vectors must be the same
+// nonzero length.
+double MedianAbsoluteRelativeError(const std::vector<double>& predicted,
+                                   const std::vector<double>& observed);
+
+// An empirical CDF: sorted support points with cumulative probabilities.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  // P(X <= x).
+  double Probability(double x) const;
+
+  // Inverse CDF (quantile) for q in [0,1].
+  double Value(double q) const;
+
+  // Evaluates the CDF at each threshold; convenient for printing the
+  // error-CDF figures (Fig 8 and Fig 9).
+  std::vector<std::pair<double, double>> AtThresholds(
+      const std::vector<double>& thresholds) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_values() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fraction of `values` strictly greater than `threshold` — used for tail
+// latency accounting (e.g. the paper's ">335 seconds" 99th percentile cut).
+double TailFraction(const std::vector<double>& values, double threshold);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_COMMON_STATS_H_

@@ -1,0 +1,55 @@
+// Analytic sprint-aware M/G/1 approximation, a closed-form comparator in
+// the spirit of the queueing models Section 6.3 surveys. It exists to
+// quantify *why* the paper needs simulation: interdependent sprinting and
+// queueing violate the independence assumptions behind Pollaczek-Khinchine,
+// so even a sprint-aware fixed-point correction misses effects the
+// timeout-aware simulator captures for free.
+//
+// The model iterates a fixed point:
+//   1. Given an estimate of mean waiting time W, approximate the fraction
+//      of queries whose timeout fires (P[W + S > T], with W taken as
+//      exponential) and the expected service time of sprinted queries
+//      (pre-sprint work at the sustained rate, remainder at the effective
+//      sprint rate).
+//   2. Cap total sprinting by the budget refill rate (sprint-seconds per
+//      second cannot exceed the budget duty cycle).
+//   3. Recompute the blended first/second service moments and W via
+//      Pollaczek-Khinchine; repeat with damping until converged.
+
+#ifndef MSPRINT_SRC_CORE_ANALYTIC_MODEL_H_
+#define MSPRINT_SRC_CORE_ANALYTIC_MODEL_H_
+
+#include "src/core/models.h"
+
+namespace msprint {
+
+class AnalyticModel final : public PerformanceModel {
+ public:
+  // `speedup_source` selects the sprint rate: marginal (like No-ML) is the
+  // honest closed-form baseline.
+  explicit AnalyticModel(size_t max_iterations = 200,
+                         double damping = 0.5);
+
+  std::string name() const override { return "Analytic"; }
+  double PredictResponseTime(const WorkloadProfile& profile,
+                             const ModelInput& input) const override;
+
+  // Diagnostics from the last fixed point (single-threaded use only).
+  struct FixedPoint {
+    double waiting_time = 0.0;
+    double sprint_fraction = 0.0;
+    double utilization = 0.0;
+    bool converged = false;
+    size_t iterations = 0;
+  };
+  const FixedPoint& last_fixed_point() const { return last_; }
+
+ private:
+  size_t max_iterations_;
+  double damping_;
+  mutable FixedPoint last_;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_CORE_ANALYTIC_MODEL_H_

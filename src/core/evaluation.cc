@@ -1,0 +1,59 @@
+#include "src/core/evaluation.h"
+
+#include <numeric>
+
+namespace msprint {
+
+ProfileSplit SplitProfileRows(const WorkloadProfile& profile,
+                              double train_fraction, Rng& rng) {
+  std::vector<size_t> order(profile.rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const size_t n_train = std::max<size_t>(
+      1, static_cast<size_t>(train_fraction *
+                             static_cast<double>(order.size())));
+
+  ProfileSplit split;
+  split.train = profile;
+  split.train.rows.clear();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) {
+      split.train.rows.push_back(profile.rows[order[i]]);
+    } else {
+      split.test_rows.push_back(profile.rows[order[i]]);
+    }
+  }
+  return split;
+}
+
+std::vector<double> EvaluateErrors(const PerformanceModel& model,
+                                   const std::vector<EvalCase>& cases) {
+  std::vector<double> errors;
+  errors.reserve(cases.size());
+  for (const EvalCase& c : cases) {
+    const double predicted = model.PredictResponseTime(
+        *c.profile, ModelInput::FromRow(c.row));
+    errors.push_back(AbsoluteRelativeError(
+        predicted, c.row.observed_mean_response_time));
+  }
+  return errors;
+}
+
+double MedianError(const PerformanceModel& model,
+                   const std::vector<EvalCase>& cases) {
+  return Median(EvaluateErrors(model, cases));
+}
+
+std::vector<EvalCase> MakeCases(const WorkloadProfile& profile,
+                                const std::vector<ProfileRow>& rows) {
+  std::vector<EvalCase> cases;
+  cases.reserve(rows.size());
+  for (const ProfileRow& row : rows) {
+    cases.push_back({&profile, row});
+  }
+  return cases;
+}
+
+}  // namespace msprint

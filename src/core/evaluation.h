@@ -1,0 +1,48 @@
+// Model evaluation harness: train/test row splits over profiled runs and
+// absolute-relative-error scoring, the protocol behind Figures 7-10
+// ("we randomly select a subsample to train our model; the remaining 20%
+// of tested conditions ... are used to compare observed to predicted
+// response time").
+
+#ifndef MSPRINT_SRC_CORE_EVALUATION_H_
+#define MSPRINT_SRC_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "src/core/models.h"
+
+namespace msprint {
+
+// A held-out evaluation point: the profile supplies workload context, the
+// row supplies conditions and the observed ground truth.
+struct EvalCase {
+  const WorkloadProfile* profile;
+  ProfileRow row;
+};
+
+// Splits `profile` into a training profile (subset of rows) and held-out
+// rows. The returned profile shares mu / mu_m / service samples with the
+// original.
+struct ProfileSplit {
+  WorkloadProfile train;
+  std::vector<ProfileRow> test_rows;
+};
+ProfileSplit SplitProfileRows(const WorkloadProfile& profile,
+                              double train_fraction, Rng& rng);
+
+// Absolute relative errors of `model` across `cases`, against the observed
+// mean response time.
+std::vector<double> EvaluateErrors(const PerformanceModel& model,
+                                   const std::vector<EvalCase>& cases);
+
+// Convenience: median of EvaluateErrors.
+double MedianError(const PerformanceModel& model,
+                   const std::vector<EvalCase>& cases);
+
+// Builds EvalCases from a profile and a row list.
+std::vector<EvalCase> MakeCases(const WorkloadProfile& profile,
+                                const std::vector<ProfileRow>& rows);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_CORE_EVALUATION_H_

@@ -1,0 +1,37 @@
+#include "src/core/model_input.h"
+
+namespace msprint {
+
+const std::vector<std::string>& ModelFeatureNames() {
+  static const std::vector<std::string> kNames = {
+      "arrival_rate_qph",  // lambda
+      "service_rate_qph",  // mu
+      "marginal_rate_qph", // mu_m (leaf-regression anchor)
+      "utilization",
+      "arrival_is_pareto",
+      "timeout_seconds",
+      "refill_seconds",
+      "budget_fraction",
+  };
+  return kNames;
+}
+
+size_t MarginalRateFeatureIndex() { return 2; }
+
+std::vector<double> EncodeFeatures(const WorkloadProfile& profile,
+                                   const ModelInput& input) {
+  const double mu_qph = profile.service_rate_per_second * kSecondsPerHour;
+  const double mu_m_qph = profile.marginal_rate_per_second * kSecondsPerHour;
+  return {
+      input.utilization * mu_qph,
+      mu_qph,
+      mu_m_qph,
+      input.utilization,
+      input.arrival_kind == DistributionKind::kPareto ? 1.0 : 0.0,
+      input.timeout_seconds,
+      input.refill_seconds,
+      input.budget_fraction,
+  };
+}
+
+}  // namespace msprint

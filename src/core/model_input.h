@@ -1,0 +1,43 @@
+// Shared input vocabulary for the performance models: the (workload
+// conditions, sprinting policy) tuple a model is asked about, and the
+// canonical feature encoding used by the ML components (Figure 5's columns:
+// arrival rate, mu, mu_m, budget, refill, timeout, ...).
+
+#ifndef MSPRINT_SRC_CORE_MODEL_INPUT_H_
+#define MSPRINT_SRC_CORE_MODEL_INPUT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/profiler/profiler.h"
+
+namespace msprint {
+
+// A prediction request. Mirrors ProfileRow's condition fields.
+struct ModelInput {
+  double utilization = 0.5;
+  DistributionKind arrival_kind = DistributionKind::kExponential;
+  double timeout_seconds = 60.0;
+  double refill_seconds = 200.0;
+  double budget_fraction = 0.20;
+
+  static ModelInput FromRow(const ProfileRow& row) {
+    return ModelInput{row.utilization, row.arrival_kind, row.timeout_seconds,
+                      row.refill_seconds, row.budget_fraction};
+  }
+};
+
+// Feature names, in encoding order.
+const std::vector<std::string>& ModelFeatureNames();
+
+// Index of the marginal-rate feature (the leaf-regression anchor).
+size_t MarginalRateFeatureIndex();
+
+// Encodes (profile, input) into the feature vector. Rates are encoded in
+// qph to match the paper's units.
+std::vector<double> EncodeFeatures(const WorkloadProfile& profile,
+                                   const ModelInput& input);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_CORE_MODEL_INPUT_H_

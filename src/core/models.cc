@@ -1,0 +1,140 @@
+#include "src/core/models.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msprint {
+
+namespace {
+
+double SimulateResponseTime(const WorkloadProfile& profile,
+                            const ModelInput& input, double speedup,
+                            const PredictionSimConfig& sim) {
+  const EmpiricalDistribution service(profile.service_time_samples);
+  StreamingStats stats;
+  for (size_t rep = 0; rep < sim.replications; ++rep) {
+    const SimConfig config =
+        BuildSimConfig(profile, input, service, speedup, sim.num_queries,
+                       sim.warmup, DeriveSeed(sim.seed, rep));
+    stats.Add(SimulateQueue(config).mean_response_time);
+  }
+  return stats.mean();
+}
+
+double SimulatePercentile(const WorkloadProfile& profile,
+                          const ModelInput& input, double speedup,
+                          const PredictionSimConfig& sim, double quantile) {
+  const EmpiricalDistribution service(profile.service_time_samples);
+  std::vector<double> pooled;
+  for (size_t rep = 0; rep < sim.replications; ++rep) {
+    const SimConfig config =
+        BuildSimConfig(profile, input, service, speedup, sim.num_queries,
+                       sim.warmup, DeriveSeed(sim.seed, rep));
+    SimResult result = SimulateQueue(config);
+    pooled.insert(pooled.end(), result.response_times.begin(),
+                  result.response_times.end());
+  }
+  return Quantile(std::move(pooled), quantile);
+}
+
+}  // namespace
+
+Dataset BuildTrainingDataset(
+    const std::vector<const WorkloadProfile*>& profiles,
+    bool target_effective_rate) {
+  Dataset data(ModelFeatureNames());
+  for (const WorkloadProfile* profile : profiles) {
+    const double mu_qph =
+        profile->service_rate_per_second * kSecondsPerHour;
+    for (const ProfileRow& row : profile->rows) {
+      const ModelInput input = ModelInput::FromRow(row);
+      const double target = target_effective_rate
+                                ? row.effective_speedup * mu_qph
+                                : row.observed_mean_response_time;
+      data.Add(EncodeFeatures(*profile, input), target);
+    }
+  }
+  return data;
+}
+
+// ------------------------------------------------------------------- No-ML
+
+NoMlModel::NoMlModel(PredictionSimConfig sim) : sim_(sim) {}
+
+double NoMlModel::PredictResponseTime(const WorkloadProfile& profile,
+                                      const ModelInput& input) const {
+  return SimulateResponseTime(profile, input, profile.MarginalSpeedup(),
+                              sim_);
+}
+
+double NoMlModel::PredictResponseTimePercentile(
+    const WorkloadProfile& profile, const ModelInput& input,
+    double quantile) const {
+  return SimulatePercentile(profile, input, profile.MarginalSpeedup(), sim_,
+                            quantile);
+}
+
+// ------------------------------------------------------------------ Hybrid
+
+HybridModel HybridModel::Train(
+    const std::vector<const WorkloadProfile*>& profiles,
+    RandomForestConfig forest_config, PredictionSimConfig sim) {
+  const Dataset data =
+      BuildTrainingDataset(profiles, /*target_effective_rate=*/true);
+  if (data.NumRows() == 0) {
+    throw std::invalid_argument("no calibrated rows to train on");
+  }
+  forest_config.anchor_feature = MarginalRateFeatureIndex();
+  return HybridModel(RandomForest::Fit(data, forest_config), sim);
+}
+
+double HybridModel::PredictEffectiveRateQph(const WorkloadProfile& profile,
+                                            const ModelInput& input) const {
+  return forest_.Predict(EncodeFeatures(profile, input));
+}
+
+double HybridModel::PredictResponseTime(const WorkloadProfile& profile,
+                                        const ModelInput& input) const {
+  const double mu_qph = profile.service_rate_per_second * kSecondsPerHour;
+  const double mu_m_qph =
+      profile.marginal_rate_per_second * kSecondsPerHour;
+  const double mu_e_qph = PredictEffectiveRateQph(profile, input);
+  // The simulator cannot extrapolate beyond the rates it supports
+  // (Section 5): clamp to [0.5 * mu, 1.5 * mu_m].
+  const double speedup =
+      std::clamp(mu_e_qph / mu_qph, 0.5, 1.5 * mu_m_qph / mu_qph);
+  return SimulateResponseTime(profile, input, speedup, sim_);
+}
+
+double HybridModel::PredictResponseTimePercentile(
+    const WorkloadProfile& profile, const ModelInput& input,
+    double quantile) const {
+  const double mu_qph = profile.service_rate_per_second * kSecondsPerHour;
+  const double mu_m_qph = profile.marginal_rate_per_second * kSecondsPerHour;
+  const double speedup =
+      std::clamp(PredictEffectiveRateQph(profile, input) / mu_qph, 0.5,
+                 1.5 * mu_m_qph / mu_qph);
+  return SimulatePercentile(profile, input, speedup, sim_, quantile);
+}
+
+// -------------------------------------------------------------- ANN direct
+
+AnnDirectModel AnnDirectModel::Train(
+    const std::vector<const WorkloadProfile*>& profiles,
+    NeuralNetConfig net_config) {
+  const Dataset data =
+      BuildTrainingDataset(profiles, /*target_effective_rate=*/false);
+  if (data.NumRows() == 0) {
+    throw std::invalid_argument("no rows to train on");
+  }
+  return AnnDirectModel(NeuralNet::Fit(data, net_config));
+}
+
+double AnnDirectModel::PredictResponseTime(const WorkloadProfile& profile,
+                                           const ModelInput& input) const {
+  // Response times are positive; the net's linear output is not guaranteed
+  // to be. Floor at a millisecond.
+  return std::max(1e-3, net_.Predict(EncodeFeatures(profile, input)));
+}
+
+}  // namespace msprint

@@ -1,0 +1,132 @@
+// The three performance-modeling approaches of Table 1(A):
+//
+//   Hybrid  — the paper's contribution: a random decision forest predicts
+//             the effective sprint rate from workload conditions and policy
+//             parameters, and the timeout-aware queue simulator turns that
+//             rate into a response-time prediction.
+//   ANN     — direct mapping: a from-scratch multi-layer neural network
+//             maps the same inputs straight to response time.
+//   No-ML   — the simulator alone, fed the marginal sprint rate.
+//
+// All three share the PerformanceModel interface so the explorer and the
+// evaluation harness are model-agnostic.
+
+#ifndef MSPRINT_SRC_CORE_MODELS_H_
+#define MSPRINT_SRC_CORE_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/effective_rate.h"
+#include "src/core/model_input.h"
+#include "src/ml/neural_net.h"
+#include "src/ml/random_forest.h"
+
+namespace msprint {
+
+// Simulation settings used when a model needs the queue simulator to turn
+// a sprint rate into a response time.
+// Defaults mirror CalibrationConfig — predictions reuse the same
+// simulator component (and random streams) that calibration aligned
+// against the observations.
+struct PredictionSimConfig {
+  size_t num_queries = 20000;
+  size_t warmup = 2000;
+  size_t replications = 2;
+  uint64_t seed = 97;
+};
+
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Expected mean response time for `input` on the workload that `profile`
+  // characterizes.
+  virtual double PredictResponseTime(const WorkloadProfile& profile,
+                                     const ModelInput& input) const = 0;
+};
+
+// ----------------------------------------------------------------- No-ML
+
+class NoMlModel final : public PerformanceModel {
+ public:
+  explicit NoMlModel(PredictionSimConfig sim = {});
+
+  std::string name() const override { return "No-ML"; }
+  double PredictResponseTime(const WorkloadProfile& profile,
+                             const ModelInput& input) const override;
+
+  // Tail prediction: the q-quantile of the simulated response-time
+  // distribution at the marginal sprint rate.
+  double PredictResponseTimePercentile(const WorkloadProfile& profile,
+                                       const ModelInput& input,
+                                       double quantile) const;
+
+ private:
+  PredictionSimConfig sim_;
+};
+
+// ---------------------------------------------------------------- Hybrid
+
+class HybridModel final : public PerformanceModel {
+ public:
+  // Trains the forest on the calibrated rows of `profiles` (each row's
+  // effective_speedup must already be set by CalibrateProfile).
+  static HybridModel Train(
+      const std::vector<const WorkloadProfile*>& profiles,
+      RandomForestConfig forest_config = {}, PredictionSimConfig sim = {});
+
+  std::string name() const override { return "Hybrid"; }
+  double PredictResponseTime(const WorkloadProfile& profile,
+                             const ModelInput& input) const override;
+
+  // The forest's raw effective-rate prediction (qph), for inspection.
+  double PredictEffectiveRateQph(const WorkloadProfile& profile,
+                                 const ModelInput& input) const;
+
+  // Tail prediction: the q-quantile of the simulated response-time
+  // distribution at the learned effective sprint rate. Sprinting "shrinks
+  // the tail" (Section 4.4); this exposes that directly.
+  double PredictResponseTimePercentile(const WorkloadProfile& profile,
+                                       const ModelInput& input,
+                                       double quantile) const;
+
+ private:
+  HybridModel(RandomForest forest, PredictionSimConfig sim)
+      : forest_(std::move(forest)), sim_(sim) {}
+
+  RandomForest forest_;
+  PredictionSimConfig sim_;
+};
+
+// ------------------------------------------------------------ ANN direct
+
+class AnnDirectModel final : public PerformanceModel {
+ public:
+  static AnnDirectModel Train(
+      const std::vector<const WorkloadProfile*>& profiles,
+      NeuralNetConfig net_config = {});
+
+  std::string name() const override { return "ANN"; }
+  double PredictResponseTime(const WorkloadProfile& profile,
+                             const ModelInput& input) const override;
+
+ private:
+  explicit AnnDirectModel(NeuralNet net) : net_(std::move(net)) {}
+
+  NeuralNet net_;
+};
+
+// Builds the training dataset used by both learned models. Exposed for
+// tests and ablation benches: target_effective_rate selects the hybrid
+// target (mu_e, qph) vs the ANN target (observed response time, seconds).
+Dataset BuildTrainingDataset(
+    const std::vector<const WorkloadProfile*>& profiles,
+    bool target_effective_rate);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_CORE_MODELS_H_

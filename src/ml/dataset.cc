@@ -1,0 +1,99 @@
+#include "src/ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace msprint {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Dataset::Add(std::vector<double> features, double target) {
+  if (features.size() != feature_names_.size()) {
+    throw std::invalid_argument("feature vector width mismatch");
+  }
+  rows_.push_back(std::move(features));
+  targets_.push_back(target);
+}
+
+size_t Dataset::FeatureIndex(const std::string& name) const {
+  const auto it =
+      std::find(feature_names_.begin(), feature_names_.end(), name);
+  if (it == feature_names_.end()) {
+    throw std::out_of_range("unknown feature: " + name);
+  }
+  return static_cast<size_t>(it - feature_names_.begin());
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng& rng) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train fraction must be in (0,1)");
+  }
+  std::vector<size_t> order(NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const size_t n_train = std::max<size_t>(
+      1, static_cast<size_t>(train_fraction * static_cast<double>(NumRows())));
+  std::vector<size_t> train_idx(order.begin(),
+                                order.begin() + static_cast<long>(n_train));
+  std::vector<size_t> test_idx(order.begin() + static_cast<long>(n_train),
+                               order.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(feature_names_);
+  for (size_t i : indices) {
+    out.Add(rows_.at(i), targets_.at(i));
+  }
+  return out;
+}
+
+Dataset::Standardization Dataset::ComputeStandardization() const {
+  Standardization s;
+  const size_t f = NumFeatures();
+  const size_t n = NumRows();
+  s.feature_mean.assign(f, 0.0);
+  s.feature_std.assign(f, 1.0);
+  if (n == 0) {
+    return s;
+  }
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < f; ++j) {
+      s.feature_mean[j] += row[j];
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    s.feature_mean[j] /= static_cast<double>(n);
+  }
+  std::vector<double> sum_sq(f, 0.0);
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < f; ++j) {
+      const double d = row[j] - s.feature_mean[j];
+      sum_sq[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    const double var = sum_sq[j] / static_cast<double>(n);
+    s.feature_std[j] = std::max(1e-12, std::sqrt(var));
+  }
+  double tsum = 0.0;
+  for (double t : targets_) {
+    tsum += t;
+  }
+  s.target_mean = tsum / static_cast<double>(n);
+  double tvar = 0.0;
+  for (double t : targets_) {
+    tvar += (t - s.target_mean) * (t - s.target_mean);
+  }
+  s.target_std = std::max(1e-12, std::sqrt(tvar / static_cast<double>(n)));
+  return s;
+}
+
+}  // namespace msprint

@@ -1,0 +1,64 @@
+// Feature-matrix dataset shared by the ML models. Rows are profiling runs;
+// columns are workload conditions and sprinting policy parameters (the
+// predictive features F of Section 2.4); the target is either the effective
+// sprint rate (hybrid model) or response time (direct ANN baseline).
+
+#ifndef MSPRINT_SRC_ML_DATASET_H_
+#define MSPRINT_SRC_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace msprint {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  void Add(std::vector<double> features, double target);
+
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumFeatures() const { return feature_names_.size(); }
+  bool Empty() const { return rows_.empty(); }
+
+  const std::vector<double>& Row(size_t i) const { return rows_[i]; }
+  double Target(size_t i) const { return targets_[i]; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<double>& targets() const { return targets_; }
+
+  // Index of a named feature; throws if absent.
+  size_t FeatureIndex(const std::string& name) const;
+
+  // Random split into (train, test) with the given train fraction.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
+
+  // Dataset restricted to the given row indices (with repetition allowed —
+  // used for bootstrap subsamples).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  // Mean and stddev per feature column (stddev floored at 1e-12), plus the
+  // same for the target; used by the ANN to standardize inputs.
+  struct Standardization {
+    std::vector<double> feature_mean;
+    std::vector<double> feature_std;
+    double target_mean = 0.0;
+    double target_std = 1.0;
+  };
+  Standardization ComputeStandardization() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> targets_;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ML_DATASET_H_

@@ -1,0 +1,72 @@
+// Fully-connected artificial neural network, the paper's direct-mapping
+// baseline (Table 1(A): "multi-layer artificial network maps policies and
+// workload conditions directly to response time"). Implemented from
+// scratch: tanh hidden layers, linear output, mean-squared-error loss,
+// mini-batch SGD with momentum, Xavier initialization, and input/target
+// standardization fitted on the training data.
+//
+// The paper's exact configuration (10 layers x 100 neurons) is available
+// but tests default to smaller nets; the qualitative result — the direct
+// mapping needs 6X-54X more training data than the hybrid approach to reach
+// comparable accuracy — does not depend on the layer count.
+
+#ifndef MSPRINT_SRC_ML_NEURAL_NET_H_
+#define MSPRINT_SRC_ML_NEURAL_NET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace msprint {
+
+struct NeuralNetConfig {
+  std::vector<size_t> hidden_layers = {64, 64, 32};
+  size_t epochs = 400;
+  double learning_rate = 1e-2;
+  double momentum = 0.9;
+  double l2 = 1e-5;
+  size_t batch_size = 16;
+  uint64_t seed = 11;
+
+  // The paper's Table 1(A) shape.
+  static NeuralNetConfig PaperShape() {
+    NeuralNetConfig config;
+    config.hidden_layers.assign(10, 100);
+    config.learning_rate = 3e-3;
+    return config;
+  }
+};
+
+class NeuralNet {
+ public:
+  static NeuralNet Fit(const Dataset& data, const NeuralNetConfig& config);
+
+  double Predict(const std::vector<double>& features) const;
+
+  // Training-set mean squared error after the final epoch (standardized
+  // target units); useful for convergence checks in tests.
+  double final_training_mse() const { return final_training_mse_; }
+
+ private:
+  struct Layer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<double> weights;  // row-major out x in
+    std::vector<double> bias;
+  };
+
+  NeuralNet() = default;
+
+  std::vector<double> Forward(const std::vector<double>& input,
+                              std::vector<std::vector<double>>* activations)
+      const;
+
+  std::vector<Layer> layers_;
+  Dataset::Standardization standardization_;
+  double final_training_mse_ = 0.0;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ML_NEURAL_NET_H_

@@ -1,0 +1,75 @@
+#include "src/ml/random_forest.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace msprint {
+
+RandomForest RandomForest::Fit(const Dataset& data,
+                               const RandomForestConfig& config) {
+  if (data.NumRows() == 0 || config.num_trees == 0) {
+    throw std::invalid_argument("invalid forest inputs");
+  }
+  Rng rng(config.seed);
+  RandomForest forest;
+  forest.trees_.reserve(config.num_trees);
+
+  const size_t n = data.NumRows();
+  const size_t f = data.NumFeatures();
+  const size_t rows_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(config.row_fraction * static_cast<double>(n)));
+  const size_t features_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(config.feature_fraction *
+                             static_cast<double>(f)));
+
+  for (size_t t = 0; t < config.num_trees; ++t) {
+    // Bootstrap rows (with replacement).
+    std::vector<size_t> rows(rows_per_tree);
+    for (auto& r : rows) {
+      r = rng.NextBounded(n);
+    }
+    // Random feature subset; the anchor feature is always retained so every
+    // tree can route samples toward its leaf regressions sensibly.
+    std::vector<size_t> features(f);
+    std::iota(features.begin(), features.end(), 0);
+    for (size_t i = features.size(); i > 1; --i) {
+      std::swap(features[i - 1], features[rng.NextBounded(i)]);
+    }
+    features.resize(features_per_tree);
+    if (config.anchor_feature.has_value() &&
+        std::find(features.begin(), features.end(),
+                  *config.anchor_feature) == features.end()) {
+      features.push_back(*config.anchor_feature);
+    }
+
+    DecisionTreeConfig tree_config;
+    tree_config.min_samples_leaf = config.min_samples_leaf;
+    tree_config.max_depth = config.max_depth;
+    tree_config.anchor_feature = config.anchor_feature;
+    tree_config.allowed_features = std::move(features);
+    forest.trees_.push_back(DecisionTree::Fit(data.Subset(rows),
+                                              tree_config));
+  }
+  return forest;
+}
+
+double RandomForest::Predict(const std::vector<double>& features) const {
+  double acc = 0.0;
+  for (const auto& tree : trees_) {
+    acc += tree.Predict(features);
+  }
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictPerTree(
+    const std::vector<double>& features) const {
+  std::vector<double> votes;
+  votes.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    votes.push_back(tree.Predict(features));
+  }
+  return votes;
+}
+
+}  // namespace msprint

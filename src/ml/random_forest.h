@@ -1,0 +1,47 @@
+// Random decision forest (Section 2.4, Figure 5): bagged deep regression
+// trees, each grown on a bootstrap subsample of profiling runs and a random
+// subset of the predictive features, with linear-regression leaves anchored
+// on the marginal sprint rate. The forest prediction averages the per-tree
+// leaf regressions — Figure 5's "votes" (mu_e = 1.225 mu_m + 1 qps from
+// averaging 1.5/1.2/1.2/1.0 slopes).
+
+#ifndef MSPRINT_SRC_ML_RANDOM_FOREST_H_
+#define MSPRINT_SRC_ML_RANDOM_FOREST_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+
+namespace msprint {
+
+struct RandomForestConfig {
+  size_t num_trees = 10;  // Table 1(A): "random forest (10 trees)"
+  double row_fraction = 0.9;
+  double feature_fraction = 0.7;
+  size_t min_samples_leaf = 4;
+  size_t max_depth = 64;
+  std::optional<size_t> anchor_feature;
+  uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  static RandomForest Fit(const Dataset& data,
+                          const RandomForestConfig& config);
+
+  double Predict(const std::vector<double>& features) const;
+
+  // Per-tree predictions (the "votes"), for inspection and tests.
+  std::vector<double> PredictPerTree(const std::vector<double>& features)
+      const;
+
+  size_t TreeCount() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ML_RANDOM_FOREST_H_

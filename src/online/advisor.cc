@@ -1,0 +1,76 @@
+#include "src/online/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msprint {
+
+OnlineAdvisor::OnlineAdvisor(const PerformanceModel& model,
+                             const WorkloadProfile& profile,
+                             AdvisorConfig config)
+    : model_(model),
+      profile_(profile),
+      config_(config),
+      rate_estimator_(config.rate_window_seconds),
+      service_estimator_(config.service_window_count),
+      drift_(config.drift_delta, config.drift_threshold) {}
+
+void OnlineAdvisor::OnArrival(double now) { rate_estimator_.OnArrival(now); }
+
+void OnlineAdvisor::OnCompletion(double now, double processing_seconds) {
+  (void)now;
+  service_estimator_.OnCompletion(processing_seconds);
+}
+
+double OnlineAdvisor::EstimatedArrivalRate(double now) const {
+  return rate_estimator_.RatePerSecond(now);
+}
+
+double OnlineAdvisor::EstimatedUtilization(double now) const {
+  // Prefer the live service-time estimate; fall back to the profiled rate
+  // until completions accumulate.
+  const double service_rate = service_estimator_.count() >= 10
+                                  ? service_estimator_.RatePerSecond()
+                                  : profile_.service_rate_per_second;
+  if (service_rate <= 0.0) {
+    return 0.0;
+  }
+  return EstimatedArrivalRate(now) / service_rate;
+}
+
+bool OnlineAdvisor::ShouldReplan(double utilization) {
+  // Either the drift detector fires on the utilization stream, or we moved
+  // beyond the slack band around the last planning point.
+  const bool drifted = drift_.Observe(utilization);
+  if (!current_.has_value()) {
+    return true;
+  }
+  return drifted || std::abs(utilization - current_->at_utilization) >
+                        config_.utilization_slack;
+}
+
+std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
+  const double utilization = EstimatedUtilization(now);
+  if (rate_estimator_.EventsInWindow(now) < 5) {
+    return current_;  // not enough signal yet
+  }
+  if (!ShouldReplan(utilization)) {
+    return current_;
+  }
+  ModelInput input = config_.base;
+  // Clamp into the trained domain; the model cannot extrapolate past a
+  // saturated queue (Section 5).
+  input.utilization = std::clamp(utilization, 0.05, 0.95);
+  const ExploreResult explored =
+      ExploreTimeout(model_, profile_, input, config_.explore);
+  ++replan_count_;
+  Recommendation recommendation;
+  recommendation.timeout_seconds = explored.best_timeout_seconds;
+  recommendation.predicted_response_time = explored.best_response_time;
+  recommendation.at_utilization = input.utilization;
+  recommendation.revision = replan_count_;
+  current_ = recommendation;
+  return current_;
+}
+
+}  // namespace msprint

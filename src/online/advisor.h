@@ -1,0 +1,74 @@
+// Online policy advisor: closes the loop Section 5 sketches. It watches
+// the live arrival stream through sliding-window estimators, applies the
+// trained hybrid model to the *estimated* (noisy) conditions, and
+// re-recommends a timeout policy whenever conditions drift from the last
+// recommendation point.
+
+#ifndef MSPRINT_SRC_ONLINE_ADVISOR_H_
+#define MSPRINT_SRC_ONLINE_ADVISOR_H_
+
+#include <optional>
+
+#include "src/explore/explorer.h"
+#include "src/online/estimator.h"
+
+namespace msprint {
+
+struct AdvisorConfig {
+  double rate_window_seconds = 600.0;
+  size_t service_window_count = 200;
+  // Page-Hinkley parameters on normalized utilization observations.
+  double drift_delta = 0.01;
+  double drift_threshold = 0.5;
+  // Re-recommendation is also forced when utilization moves this far from
+  // the last recommendation point (absolute).
+  double utilization_slack = 0.08;
+  // Explorer settings for each recommendation.
+  ExploreConfig explore;
+  // Policy knobs held fixed (budget, refill, arrival kind).
+  ModelInput base;
+};
+
+struct Recommendation {
+  double timeout_seconds = 0.0;
+  double predicted_response_time = 0.0;
+  double at_utilization = 0.0;
+  size_t revision = 0;  // increments every time the advisor re-plans
+};
+
+class OnlineAdvisor {
+ public:
+  // `model` and `profile` must outlive the advisor.
+  OnlineAdvisor(const PerformanceModel& model,
+                const WorkloadProfile& profile, AdvisorConfig config);
+
+  // Event feed from the live system.
+  void OnArrival(double now);
+  void OnCompletion(double now, double processing_seconds);
+
+  // Current estimated conditions.
+  double EstimatedArrivalRate(double now) const;
+  double EstimatedUtilization(double now) const;
+
+  // Returns the standing recommendation, re-planning first if conditions
+  // drifted. Returns nullopt until enough observations have accumulated.
+  std::optional<Recommendation> Recommend(double now);
+
+  size_t replan_count() const { return replan_count_; }
+
+ private:
+  bool ShouldReplan(double utilization);
+
+  const PerformanceModel& model_;
+  const WorkloadProfile& profile_;
+  AdvisorConfig config_;
+  SlidingWindowRateEstimator rate_estimator_;
+  ServiceTimeEstimator service_estimator_;
+  DriftDetector drift_;
+  std::optional<Recommendation> current_;
+  size_t replan_count_ = 0;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ONLINE_ADVISOR_H_

@@ -1,0 +1,116 @@
+#include "src/online/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msprint {
+
+SlidingWindowRateEstimator::SlidingWindowRateEstimator(double window_seconds)
+    : window_seconds_(window_seconds) {
+  if (window_seconds <= 0.0) {
+    throw std::invalid_argument("window must be > 0");
+  }
+}
+
+void SlidingWindowRateEstimator::OnArrival(double now) {
+  if (!arrivals_.empty() && now < arrivals_.back()) {
+    throw std::invalid_argument("arrival timestamps must be non-decreasing");
+  }
+  arrivals_.push_back(now);
+  Evict(now);
+}
+
+void SlidingWindowRateEstimator::Evict(double now) const {
+  const double horizon = now - window_seconds_;
+  while (!arrivals_.empty() && arrivals_.front() < horizon) {
+    arrivals_.pop_front();
+  }
+}
+
+double SlidingWindowRateEstimator::RatePerSecond(double now) const {
+  Evict(now);
+  return static_cast<double>(arrivals_.size()) / window_seconds_;
+}
+
+size_t SlidingWindowRateEstimator::EventsInWindow(double now) const {
+  Evict(now);
+  return arrivals_.size();
+}
+
+ServiceTimeEstimator::ServiceTimeEstimator(size_t window_count)
+    : window_count_(window_count) {
+  if (window_count == 0) {
+    throw std::invalid_argument("window count must be > 0");
+  }
+}
+
+void ServiceTimeEstimator::OnCompletion(double processing_seconds) {
+  samples_.push_back(processing_seconds);
+  sum_ += processing_seconds;
+  sum_sq_ += processing_seconds * processing_seconds;
+  if (samples_.size() > window_count_) {
+    const double old = samples_.front();
+    samples_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+}
+
+double ServiceTimeEstimator::MeanSeconds() const {
+  return samples_.empty() ? 0.0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double ServiceTimeEstimator::RatePerSecond() const {
+  const double mean = MeanSeconds();
+  return mean <= 0.0 ? 0.0 : 1.0 / mean;
+}
+
+double ServiceTimeEstimator::CoefficientOfVariation() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(samples_.size());
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return mean <= 0.0 ? 0.0 : std::sqrt(var) / mean;
+}
+
+DriftDetector::DriftDetector(double delta, double threshold)
+    : delta_(delta), threshold_(threshold) {
+  if (delta < 0.0 || threshold <= 0.0) {
+    throw std::invalid_argument("invalid drift detector parameters");
+  }
+}
+
+void DriftDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cumulative_up_ = 0.0;
+  min_up_ = 0.0;
+  cumulative_down_ = 0.0;
+  max_down_ = 0.0;
+}
+
+bool DriftDetector::Observe(double value) {
+  ++count_;
+  mean_ += (value - mean_) / static_cast<double>(count_);
+
+  // Upward shift: cumulative (x - mean - delta) drifting above its min.
+  cumulative_up_ += value - mean_ - delta_;
+  min_up_ = std::min(min_up_, cumulative_up_);
+  // Downward shift: cumulative (x - mean + delta) drifting below its max.
+  cumulative_down_ += value - mean_ + delta_;
+  max_down_ = std::max(max_down_, cumulative_down_);
+
+  const bool drift_up = cumulative_up_ - min_up_ > threshold_;
+  const bool drift_down = max_down_ - cumulative_down_ > threshold_;
+  if (drift_up || drift_down) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace msprint

@@ -1,0 +1,95 @@
+// Online runtime-condition estimation — the key open challenge Section 5
+// names: "estimate runtime conditions online and apply our model on noisy
+// predictions. Sliding window approaches can be used to estimate runtime
+// conditions ... A related challenge is updating machine-learned models
+// when runtime conditions shift."
+//
+// This module provides:
+//   * SlidingWindowRateEstimator — arrival rate from a window of recent
+//     arrival timestamps;
+//   * ServiceTimeEstimator      — windowed mean/variance of observed
+//     unsprinted processing times;
+//   * DriftDetector             — a Page-Hinkley change detector on the
+//     arrival rate, signalling when profiled conditions no longer hold
+//     and the model should be recalibrated.
+
+#ifndef MSPRINT_SRC_ONLINE_ESTIMATOR_H_
+#define MSPRINT_SRC_ONLINE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace msprint {
+
+// Estimates the current arrival rate (events/second) over a sliding time
+// window. O(1) amortized per observation.
+class SlidingWindowRateEstimator {
+ public:
+  explicit SlidingWindowRateEstimator(double window_seconds);
+
+  // Records an arrival at (non-decreasing) time `now`.
+  void OnArrival(double now);
+
+  // Arrival rate over the trailing window as of `now`. Returns 0 before
+  // the first arrival.
+  double RatePerSecond(double now) const;
+
+  size_t EventsInWindow(double now) const;
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  void Evict(double now) const;
+
+  double window_seconds_;
+  mutable std::deque<double> arrivals_;
+};
+
+// Windowed (count-based) mean and variance of service-time observations.
+class ServiceTimeEstimator {
+ public:
+  explicit ServiceTimeEstimator(size_t window_count);
+
+  void OnCompletion(double processing_seconds);
+
+  double MeanSeconds() const;
+  double RatePerSecond() const;  // 1 / mean (0 when empty)
+  double CoefficientOfVariation() const;
+  size_t count() const { return samples_.size(); }
+
+ private:
+  size_t window_count_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// Page-Hinkley drift detector on a univariate stream. Signals when the
+// stream mean shifts by more than `delta` with cumulative evidence
+// exceeding `threshold`. Detects shifts in either direction.
+class DriftDetector {
+ public:
+  DriftDetector(double delta, double threshold);
+
+  // Feeds one observation; returns true if drift is detected (the
+  // detector resets itself after signalling).
+  bool Observe(double value);
+
+  size_t observations() const { return count_; }
+  double running_mean() const { return mean_; }
+
+ private:
+  void Reset();
+
+  double delta_;
+  double threshold_;
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_up_ = 0.0;    // evidence of an upward shift
+  double min_up_ = 0.0;
+  double cumulative_down_ = 0.0;  // evidence of a downward shift
+  double max_down_ = 0.0;
+};
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ONLINE_ESTIMATOR_H_

@@ -1,0 +1,207 @@
+#include "src/profiler/profile_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace msprint {
+
+namespace {
+
+constexpr char kMagic[] = "msprint-profile";
+constexpr char kVersion[] = "v1";
+
+void Expect(std::istream& is, const std::string& token) {
+  std::string word;
+  if (!(is >> word) || word != token) {
+    throw std::runtime_error("profile parse error: expected '" + token +
+                             "', got '" + word + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<double> LoadArrivalTrace(std::istream& is) {
+  std::vector<double> trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Trim leading whitespace.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    size_t consumed = 0;
+    const double value = std::stod(line.substr(first), &consumed);
+    if (!trace.empty() && value < trace.back()) {
+      throw std::runtime_error("arrival trace must be ascending");
+    }
+    trace.push_back(value);
+  }
+  if (trace.empty()) {
+    throw std::runtime_error("arrival trace is empty");
+  }
+  return trace;
+}
+
+std::vector<double> LoadArrivalTraceFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open for reading: " + path);
+  }
+  return LoadArrivalTrace(file);
+}
+
+WorkloadId ParseWorkloadId(const std::string& name) {
+  for (WorkloadId id : AllWorkloads()) {
+    if (ToString(id) == name) {
+      return id;
+    }
+  }
+  throw std::runtime_error("unknown workload name: " + name);
+}
+
+MechanismId ParseMechanismId(const std::string& name) {
+  for (MechanismId id : {MechanismId::kDvfs, MechanismId::kCoreScale,
+                         MechanismId::kEc2Dvfs, MechanismId::kCpuThrottle}) {
+    if (ToString(id) == name) {
+      return id;
+    }
+  }
+  throw std::runtime_error("unknown mechanism name: " + name);
+}
+
+DistributionKind ParseDistributionKind(const std::string& name) {
+  for (DistributionKind kind :
+       {DistributionKind::kExponential, DistributionKind::kPareto,
+        DistributionKind::kDeterministic, DistributionKind::kUniform,
+        DistributionKind::kLognormal, DistributionKind::kWeibull,
+        DistributionKind::kHyperexponential, DistributionKind::kEmpirical}) {
+    if (ToString(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::runtime_error("unknown distribution kind: " + name);
+}
+
+void SaveProfile(const WorkloadProfile& profile, std::ostream& os) {
+  os << kMagic << " " << kVersion << "\n";
+  os << std::setprecision(17);
+  os << "meta " << profile.service_rate_per_second << " "
+     << profile.marginal_rate_per_second << " "
+     << profile.total_profiling_hours << "\n";
+  os << "platform " << ToString(profile.platform.mechanism) << " "
+     << profile.platform.throttle_fraction << " "
+     << profile.platform.sprint_cpu_fraction << "\n";
+  os << "mix " << profile.mix.interference_factor() << " "
+     << profile.mix.components().size();
+  for (const auto& component : profile.mix.components()) {
+    os << " " << ToString(component.workload) << " " << component.weight;
+  }
+  os << "\n";
+  os << "samples " << profile.service_time_samples.size() << "\n";
+  for (double sample : profile.service_time_samples) {
+    os << sample << "\n";
+  }
+  os << "rows " << profile.rows.size() << "\n";
+  for (const ProfileRow& row : profile.rows) {
+    os << row.utilization << " " << ToString(row.arrival_kind) << " "
+       << row.timeout_seconds << " " << row.refill_seconds << " "
+       << row.budget_fraction << " " << row.observed_mean_response_time
+       << " " << row.observed_median_response_time << " "
+       << row.fraction_sprinted << " " << row.fraction_timed_out << " "
+       << row.run_virtual_seconds << " " << row.effective_speedup << "\n";
+  }
+  if (!os) {
+    throw std::runtime_error("failed writing profile");
+  }
+}
+
+void SaveProfileToFile(const WorkloadProfile& profile,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  SaveProfile(profile, file);
+}
+
+WorkloadProfile LoadProfile(std::istream& is) {
+  Expect(is, kMagic);
+  Expect(is, kVersion);
+
+  WorkloadProfile profile;
+  Expect(is, "meta");
+  if (!(is >> profile.service_rate_per_second >>
+        profile.marginal_rate_per_second >> profile.total_profiling_hours)) {
+    throw std::runtime_error("profile parse error in meta");
+  }
+
+  Expect(is, "platform");
+  std::string mechanism_name;
+  if (!(is >> mechanism_name >> profile.platform.throttle_fraction >>
+        profile.platform.sprint_cpu_fraction)) {
+    throw std::runtime_error("profile parse error in platform");
+  }
+  profile.platform.mechanism = ParseMechanismId(mechanism_name);
+
+  Expect(is, "mix");
+  double interference = 1.0;
+  size_t n_components = 0;
+  if (!(is >> interference >> n_components) || n_components == 0) {
+    throw std::runtime_error("profile parse error in mix");
+  }
+  std::vector<QueryMix::Component> components;
+  for (size_t i = 0; i < n_components; ++i) {
+    std::string workload_name;
+    double weight;
+    if (!(is >> workload_name >> weight)) {
+      throw std::runtime_error("profile parse error in mix component");
+    }
+    components.push_back({ParseWorkloadId(workload_name), weight});
+  }
+  profile.mix = QueryMix(std::move(components), interference);
+
+  Expect(is, "samples");
+  size_t n_samples = 0;
+  if (!(is >> n_samples)) {
+    throw std::runtime_error("profile parse error in samples");
+  }
+  profile.service_time_samples.resize(n_samples);
+  for (size_t i = 0; i < n_samples; ++i) {
+    if (!(is >> profile.service_time_samples[i])) {
+      throw std::runtime_error("profile parse error reading sample");
+    }
+  }
+
+  Expect(is, "rows");
+  size_t n_rows = 0;
+  if (!(is >> n_rows)) {
+    throw std::runtime_error("profile parse error in rows");
+  }
+  profile.rows.resize(n_rows);
+  for (size_t i = 0; i < n_rows; ++i) {
+    ProfileRow& row = profile.rows[i];
+    std::string kind_name;
+    if (!(is >> row.utilization >> kind_name >> row.timeout_seconds >>
+          row.refill_seconds >> row.budget_fraction >>
+          row.observed_mean_response_time >>
+          row.observed_median_response_time >> row.fraction_sprinted >>
+          row.fraction_timed_out >> row.run_virtual_seconds >>
+          row.effective_speedup)) {
+      throw std::runtime_error("profile parse error reading row");
+    }
+    row.arrival_kind = ParseDistributionKind(kind_name);
+  }
+  return profile;
+}
+
+WorkloadProfile LoadProfileFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open for reading: " + path);
+  }
+  return LoadProfile(file);
+}
+
+}  // namespace msprint

@@ -1,0 +1,53 @@
+// Save/load of WorkloadProfile data. Profiling is the expensive step of
+// the pipeline (hours of virtual server time; real hours in the paper), so
+// downstream tools persist profiles and re-run calibration/training/
+// exploration offline — this also enables the paper's retrospective
+// "what-if for past workloads" use case on recorded data.
+//
+// Format: a line-oriented text file, versioned, human-diffable:
+//   msprint-profile v1
+//   meta <service_rate> <marginal_rate> <profiling_hours>
+//   platform <mechanism> <throttle_fraction> <sprint_cpu_fraction>
+//   mix <interference> <n> { <workload> <weight> } ...
+//   samples <n>
+//   <one sample per line>
+//   rows <n>
+//   <util> <kind> <timeout> <refill> <budget> <mean_rt> <median_rt>
+//       <frac_sprinted> <frac_timed_out> <virt_secs> <eff_speedup>
+// Workload and mechanism names use their ToString() forms.
+
+#ifndef MSPRINT_SRC_PROFILER_PROFILE_IO_H_
+#define MSPRINT_SRC_PROFILER_PROFILE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/profiler/profiler.h"
+
+namespace msprint {
+
+// Serializes `profile` to `os`. Throws std::runtime_error on stream
+// failure.
+void SaveProfile(const WorkloadProfile& profile, std::ostream& os);
+void SaveProfileToFile(const WorkloadProfile& profile,
+                       const std::string& path);
+
+// Parses a profile previously written by SaveProfile. Throws
+// std::runtime_error on malformed input.
+WorkloadProfile LoadProfile(std::istream& is);
+WorkloadProfile LoadProfileFromFile(const std::string& path);
+
+// Loads an arrival-timestamp trace: one ascending timestamp (seconds) per
+// line; blank lines and lines starting with '#' are skipped. Used for
+// what-if replay of recorded workloads.
+std::vector<double> LoadArrivalTrace(std::istream& is);
+std::vector<double> LoadArrivalTraceFromFile(const std::string& path);
+
+// Name <-> enum helpers used by the format (throw on unknown names).
+WorkloadId ParseWorkloadId(const std::string& name);
+MechanismId ParseMechanismId(const std::string& name);
+DistributionKind ParseDistributionKind(const std::string& name);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_PROFILER_PROFILE_IO_H_

@@ -1,0 +1,226 @@
+#include "src/sim/multiclass_simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "src/common/stats.h"
+
+namespace msprint {
+
+namespace {
+
+constexpr double kBudgetEpsilon = 1e-9;
+
+enum class EventType { kArrival, kDeparture, kTimeout };
+
+struct Event {
+  double time;
+  EventType type;
+  size_t query;
+  uint64_t stamp;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct PendingQuery {
+  size_t klass = 0;
+  double arrival = 0.0;
+  double service_time = 0.0;
+  double start = -1.0;
+  double depart = -1.0;
+  bool timed_out = false;
+  bool sprinted = false;
+  double sprint_begin = -1.0;
+  double sprint_seconds = 0.0;
+};
+
+}  // namespace
+
+const ClassResult& MultiClassSimResult::Class(const std::string& name) const {
+  for (const auto& result : per_class) {
+    if (result.name == name) {
+      return result;
+    }
+  }
+  throw std::out_of_range("unknown class: " + name);
+}
+
+MultiClassSimResult SimulateMultiClassQueue(
+    const MultiClassSimConfig& config) {
+  if (config.classes.empty() || config.num_queries == 0 ||
+      config.slots < 1 || config.arrival_rate_per_second <= 0.0) {
+    throw std::invalid_argument("invalid MultiClassSimConfig");
+  }
+  double total_weight = 0.0;
+  for (const auto& klass : config.classes) {
+    if (klass.service == nullptr || klass.arrival_weight <= 0.0 ||
+        klass.sprint_speedup <= 0.0) {
+      throw std::invalid_argument("invalid QueryClassConfig");
+    }
+    total_weight += klass.arrival_weight;
+  }
+
+  Rng rng(config.seed);
+
+  // Pre-generate the interleaved arrival stream.
+  const size_t n = config.num_queries;
+  std::vector<PendingQuery> queries(n);
+  {
+    const auto interarrival = MakeDistribution(
+        config.arrival_kind, 1.0 / config.arrival_rate_per_second);
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      t += interarrival->Sample(rng);
+      // Sample the class by weight.
+      double u = rng.NextDouble() * total_weight;
+      size_t klass = 0;
+      for (size_t c = 0; c < config.classes.size(); ++c) {
+        u -= config.classes[c].arrival_weight;
+        if (u < 0.0) {
+          klass = c;
+          break;
+        }
+      }
+      queries[i].klass = klass;
+      queries[i].arrival = t;
+      queries[i].service_time =
+          std::max(1e-9, config.classes[klass].service->Sample(rng));
+    }
+  }
+
+  SprintBudget budget(config.budget_capacity_seconds,
+                      config.budget_refill_seconds);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::deque<size_t> fifo;
+  std::vector<uint64_t> stamps(n, 0);
+  int free_slots = config.slots;
+  size_t next_arrival = 0;
+  uint64_t stamp_counter = 0;
+
+  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+
+  auto schedule_departure = [&](size_t qi, double when) {
+    stamps[qi] = ++stamp_counter;
+    queries[qi].depart = when;
+    events.push({when, EventType::kDeparture, qi, stamps[qi]});
+  };
+
+  auto dispatch = [&](size_t qi, double now) {
+    PendingQuery& q = queries[qi];
+    const QueryClassConfig& klass = config.classes[q.klass];
+    q.start = now;
+    const double timeout_at = q.arrival + klass.timeout_seconds;
+    if (timeout_at <= now) {
+      q.timed_out = true;
+      if (budget.Available(now) > kBudgetEpsilon) {
+        q.sprinted = true;
+        q.sprint_begin = now;
+        schedule_departure(qi, now + q.service_time / klass.sprint_speedup);
+        return;
+      }
+    }
+    schedule_departure(qi, now + q.service_time);
+    if (timeout_at > now && timeout_at < q.depart) {
+      events.push({timeout_at, EventType::kTimeout, qi, stamps[qi]});
+    }
+  };
+
+  auto complete = [&](size_t qi, double now) {
+    PendingQuery& q = queries[qi];
+    if (q.sprinted) {
+      q.sprint_seconds = now - q.sprint_begin;
+      budget.ConsumeAllowingDebt(now, q.sprint_seconds);
+    }
+    ++free_slots;
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time;
+
+    switch (ev.type) {
+      case EventType::kArrival: {
+        fifo.push_back(ev.query);
+        if (++next_arrival < n) {
+          events.push({queries[next_arrival].arrival, EventType::kArrival,
+                       next_arrival, 0});
+        }
+        break;
+      }
+      case EventType::kDeparture: {
+        if (stamps[ev.query] != ev.stamp) {
+          break;
+        }
+        complete(ev.query, now);
+        break;
+      }
+      case EventType::kTimeout: {
+        PendingQuery& q = queries[ev.query];
+        if (stamps[ev.query] != ev.stamp || q.sprinted || q.depart <= now) {
+          break;
+        }
+        q.timed_out = true;
+        if (budget.Available(now) > kBudgetEpsilon) {
+          q.sprinted = true;
+          q.sprint_begin = now;
+          const double remaining = q.depart - now;
+          schedule_departure(
+              ev.query,
+              now + remaining / config.classes[q.klass].sprint_speedup);
+        }
+        break;
+      }
+    }
+
+    while (free_slots > 0 && !fifo.empty()) {
+      const size_t qi = fifo.front();
+      fifo.pop_front();
+      --free_slots;
+      dispatch(qi, std::max(now, queries[qi].arrival));
+    }
+  }
+
+  // Aggregate per class.
+  MultiClassSimResult result;
+  result.per_class.resize(config.classes.size());
+  for (size_t c = 0; c < config.classes.size(); ++c) {
+    result.per_class[c].name = config.classes[c].name;
+  }
+  StreamingStats overall;
+  std::vector<StreamingStats> rt(config.classes.size());
+  std::vector<StreamingStats> qd(config.classes.size());
+  std::vector<size_t> sprinted(config.classes.size(), 0);
+  const size_t first = std::min(config.warmup_queries, n);
+  for (size_t i = first; i < n; ++i) {
+    const PendingQuery& q = queries[i];
+    const double response = q.depart - q.arrival;
+    overall.Add(response);
+    rt[q.klass].Add(response);
+    qd[q.klass].Add(q.start - q.arrival);
+    result.per_class[q.klass].response_times.push_back(response);
+    if (q.sprinted) {
+      ++sprinted[q.klass];
+      result.total_sprint_seconds += q.sprint_seconds;
+    }
+    result.makespan = std::max(result.makespan, q.depart);
+  }
+  for (size_t c = 0; c < config.classes.size(); ++c) {
+    ClassResult& out = result.per_class[c];
+    out.completed = rt[c].count();
+    out.mean_response_time = rt[c].mean();
+    out.mean_queueing_delay = qd[c].mean();
+    out.fraction_sprinted =
+        out.completed == 0
+            ? 0.0
+            : static_cast<double>(sprinted[c]) /
+                  static_cast<double>(out.completed);
+  }
+  result.mean_response_time = overall.mean();
+  return result;
+}
+
+}  // namespace msprint

@@ -1,0 +1,76 @@
+// Multi-class timeout-aware queue simulator — the Section 5 extension the
+// paper calls out: "Only small modifications to the simulator are needed
+// to support multiple sprint rates and timeouts [assigned across
+// workloads]."
+//
+// Each query class has its own arrival weight, service-time distribution,
+// timeout and effective sprint speedup; all classes share one FIFO queue,
+// one execution engine and one sprint budget. This models heterogeneous
+// tenants on a shared server where the platform grants per-workload
+// sprinting policies (the Fig 13 "model-driven sprinting" setting, where
+// "workloads allow cloud providers to change their timeouts").
+
+#ifndef MSPRINT_SRC_SIM_MULTICLASS_SIMULATOR_H_
+#define MSPRINT_SRC_SIM_MULTICLASS_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/queue_simulator.h"
+
+namespace msprint {
+
+// Per-class configuration.
+struct QueryClassConfig {
+  std::string name;
+  double arrival_weight = 1.0;       // share of the arrival stream
+  const Distribution* service = nullptr;  // sustained-rate service time
+  double timeout_seconds = 60.0;
+  double sprint_speedup = 1.0;       // mu_e / mu for this class
+};
+
+struct MultiClassSimConfig {
+  double arrival_rate_per_second = 0.01;  // aggregate across classes
+  DistributionKind arrival_kind = DistributionKind::kExponential;
+  std::vector<QueryClassConfig> classes;
+
+  // Shared sprint budget.
+  double budget_capacity_seconds = 40.0;
+  double budget_refill_seconds = 200.0;
+
+  int slots = 1;
+  size_t num_queries = 10000;
+  size_t warmup_queries = 0;
+  uint64_t seed = 1;
+};
+
+// Per-class and aggregate results.
+struct ClassResult {
+  std::string name;
+  size_t completed = 0;
+  double mean_response_time = 0.0;
+  double mean_queueing_delay = 0.0;
+  double fraction_sprinted = 0.0;
+  std::vector<double> response_times;
+};
+
+struct MultiClassSimResult {
+  std::vector<ClassResult> per_class;
+  double mean_response_time = 0.0;
+  double total_sprint_seconds = 0.0;
+  double makespan = 0.0;
+
+  const ClassResult& Class(const std::string& name) const;
+};
+
+// Runs one replication. Semantics per class match SimulateQueue exactly:
+// a class's timeout counts from arrival; if it fires while queued the
+// whole execution sprints at the class speedup (budget permitting); if it
+// fires mid-execution, the remaining work finishes at the class speedup
+// (Equation 1). Budget grants use the shared bucket's "available > 0"
+// rule with post-completion debit.
+MultiClassSimResult SimulateMultiClassQueue(const MultiClassSimConfig& config);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_SIM_MULTICLASS_SIMULATOR_H_

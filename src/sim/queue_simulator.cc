@@ -1,0 +1,248 @@
+#include "src/sim/queue_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "src/common/thread_pool.h"
+
+namespace msprint {
+
+double SimResult::MedianResponseTime() const {
+  return Median(response_times);
+}
+
+double SimResult::PercentileResponseTime(double q) const {
+  return Quantile(response_times, q);
+}
+
+namespace {
+
+constexpr double kBudgetEpsilon = 1e-9;
+
+enum class EventType { kArrival, kDeparture, kTimeout };
+
+struct Event {
+  double time;
+  EventType type;
+  size_t query;
+  uint64_t stamp;  // invalidates superseded departure events
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+SimResult SimulateQueue(const SimConfig& config,
+                        std::vector<SimQuery>* trace_out) {
+  if (config.service == nullptr) {
+    throw std::invalid_argument("SimConfig.service must be set");
+  }
+  if (config.num_queries == 0 || config.slots < 1 ||
+      config.sprint_speedup <= 0.0 || config.arrival_rate_per_second <= 0.0) {
+    throw std::invalid_argument("invalid SimConfig");
+  }
+
+  Rng rng(config.seed);
+
+  // Pre-generate arrivals and service times, as Algorithm 1 does ("these
+  // properties are set before simulation begins").
+  size_t n = config.num_queries;
+  if (config.arrival_trace != nullptr) {
+    if (config.arrival_trace->empty()) {
+      throw std::invalid_argument("arrival trace is empty");
+    }
+    n = std::min(n, config.arrival_trace->size());
+  }
+  std::vector<SimQuery> queries(n);
+  if (config.arrival_trace != nullptr) {
+    const auto& trace = *config.arrival_trace;
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0 && trace[i] < trace[i - 1]) {
+        throw std::invalid_argument("arrival trace must be ascending");
+      }
+      queries[i].arrival = trace[i];
+      queries[i].service_time = std::max(1e-9, config.service->Sample(rng));
+    }
+  } else {
+    const auto interarrival = MakeDistribution(
+        config.arrival_kind, 1.0 / config.arrival_rate_per_second);
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      t += interarrival->Sample(rng);
+      queries[i].arrival = t;
+      queries[i].service_time = std::max(1e-9, config.service->Sample(rng));
+    }
+  }
+
+  SprintBudget budget(config.budget_capacity_seconds,
+                      config.budget_refill_seconds);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::deque<size_t> fifo;
+  std::vector<uint64_t> stamps(n, 0);
+  std::vector<double> sprint_begin(n, -1.0);
+  int free_slots = config.slots;
+  size_t next_arrival = 0;
+  uint64_t stamp_counter = 0;
+
+  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+
+  auto schedule_departure = [&](size_t q, double when) {
+    stamps[q] = ++stamp_counter;
+    queries[q].depart = when;
+    events.push({when, EventType::kDeparture, q, stamps[q]});
+  };
+
+  auto dispatch = [&](size_t q, double now) {
+    SimQuery& query = queries[q];
+    query.start = now;
+    const double timeout_at = query.arrival + config.timeout_seconds;
+    const bool timeout_already_fired = timeout_at <= now;
+    if (timeout_already_fired) {
+      query.timed_out = true;
+      if (budget.Available(now) > kBudgetEpsilon) {
+        // Whole execution sprints (the marginal-rate case of Section 2).
+        query.sprinted = true;
+        sprint_begin[q] = now;
+        schedule_departure(q, now + query.service_time /
+                                    config.sprint_speedup);
+        return;
+      }
+    }
+    schedule_departure(q, now + query.service_time);
+    if (!timeout_already_fired) {
+      // Timeout may fire mid-execution; schedule the interrupt.
+      if (timeout_at < query.depart) {
+        events.push({timeout_at, EventType::kTimeout, q, stamps[q]});
+      }
+    }
+  };
+
+  auto complete = [&](size_t q, double now) {
+    SimQuery& query = queries[q];
+    if (query.sprinted) {
+      query.sprint_seconds = now - sprint_begin[q];
+      budget.ConsumeAllowingDebt(now, query.sprint_seconds);
+    }
+    ++free_slots;
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time;
+
+    switch (ev.type) {
+      case EventType::kArrival: {
+        fifo.push_back(ev.query);
+        if (++next_arrival < n) {
+          events.push({queries[next_arrival].arrival, EventType::kArrival,
+                       next_arrival, 0});
+        }
+        break;
+      }
+      case EventType::kDeparture: {
+        if (stamps[ev.query] != ev.stamp) {
+          break;  // superseded by a sprint reschedule
+        }
+        complete(ev.query, now);
+        break;
+      }
+      case EventType::kTimeout: {
+        SimQuery& query = queries[ev.query];
+        // Only meaningful if the query is still executing un-sprinted with
+        // the same departure schedule it had when the interrupt was set.
+        if (stamps[ev.query] != ev.stamp || query.sprinted ||
+            query.depart <= now) {
+          break;
+        }
+        query.timed_out = true;
+        if (budget.Available(now) > kBudgetEpsilon) {
+          // Equation 1: remaining work finishes at the sprint speedup.
+          query.sprinted = true;
+          sprint_begin[ev.query] = now;
+          const double remaining = query.depart - now;
+          schedule_departure(ev.query,
+                             now + remaining / config.sprint_speedup);
+        }
+        break;
+      }
+    }
+
+    // Dispatch from the FIFO head while slots are open.
+    while (free_slots > 0 && !fifo.empty()) {
+      const size_t q = fifo.front();
+      fifo.pop_front();
+      --free_slots;
+      dispatch(q, std::max(now, queries[q].arrival));
+    }
+  }
+
+  // Aggregate post-warmup statistics.
+  SimResult result;
+  const size_t first = std::min(config.warmup_queries, n);
+  result.response_times.reserve(n - first);
+  StreamingStats rt_stats;
+  StreamingStats qd_stats;
+  size_t sprinted = 0;
+  size_t timed_out = 0;
+  for (size_t i = first; i < n; ++i) {
+    const SimQuery& q = queries[i];
+    result.response_times.push_back(q.ResponseTime());
+    rt_stats.Add(q.ResponseTime());
+    qd_stats.Add(q.QueueingDelay());
+    if (q.sprinted) {
+      ++sprinted;
+      result.total_sprint_seconds += q.sprint_seconds;
+    }
+    if (q.timed_out) {
+      ++timed_out;
+    }
+    result.makespan = std::max(result.makespan, q.depart);
+  }
+  const double count = static_cast<double>(n - first);
+  result.mean_response_time = rt_stats.mean();
+  result.mean_queueing_delay = qd_stats.mean();
+  result.fraction_sprinted = sprinted / count;
+  result.fraction_timed_out = timed_out / count;
+
+  if (trace_out != nullptr) {
+    *trace_out = std::move(queries);
+  }
+  return result;
+}
+
+ReplicatedResult SimulateReplicated(const SimConfig& config,
+                                    size_t replications, size_t pool_size) {
+  if (replications == 0) {
+    throw std::invalid_argument("need at least one replication");
+  }
+  std::vector<double> means(replications, 0.0);
+  auto run_one = [&](size_t r) {
+    SimConfig rep = config;
+    rep.seed = DeriveSeed(config.seed, r);
+    means[r] = SimulateQueue(rep).mean_response_time;
+  };
+  if (pool_size > 1 && replications > 1) {
+    ThreadPool pool(pool_size);
+    pool.ParallelFor(replications, run_one);
+  } else {
+    for (size_t r = 0; r < replications; ++r) {
+      run_one(r);
+    }
+  }
+  StreamingStats stats;
+  for (double m : means) {
+    stats.Add(m);
+  }
+  ReplicatedResult out;
+  out.mean_response_time = stats.mean();
+  out.coefficient_of_variation = stats.cov();
+  out.replication_means = std::move(means);
+  return out;
+}
+
+}  // namespace msprint

@@ -1,0 +1,115 @@
+// Timeout-aware first-principles queue simulator (Section 2.2, Algorithm 1).
+//
+// This is the predictive half of the hybrid model: a G/G/k FIFO queue whose
+// only model of sprinting is Equation 1's linear speedup on remaining work
+// at a single rate (the effective sprint rate). It deliberately knows
+// nothing about workload phases, sprint-toggle latency or interference —
+// those runtime dynamics live in the ground-truth testbed and are absorbed
+// into the effective sprint rate by the random decision forest.
+//
+// Unlike Algorithm 1's microsecond tick loop, this implementation is
+// event-driven (arrivals, departures, in-flight timeouts), which preserves
+// the algorithm's externally visible semantics exactly while running orders
+// of magnitude faster — what makes the paper's ">900 predictions per
+// minute" practical. A literal tick-loop shim (tick_simulator.h) is kept
+// for conformance testing.
+
+#ifndef MSPRINT_SRC_SIM_QUEUE_SIMULATOR_H_
+#define MSPRINT_SRC_SIM_QUEUE_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/stats.h"
+#include "src/sprint/budget.h"
+
+namespace msprint {
+
+// Everything the predictive simulator needs to know. Note there is no
+// workload or mechanism here: the simulator sees only rates, a timeout and
+// a budget, exactly as in Figure 2's "timeout-aware queue simulator" box.
+struct SimConfig {
+  // Arrival process. When `arrival_trace` is set, the recorded timestamps
+  // (seconds, ascending) are replayed verbatim instead of sampling the
+  // arrival distribution — the paper's "what-if questions for past ...
+  // workloads" applied to an actual recorded trace. num_queries is then
+  // clamped to the trace length.
+  double arrival_rate_per_second = 0.01;
+  DistributionKind arrival_kind = DistributionKind::kExponential;
+  const std::vector<double>* arrival_trace = nullptr;
+
+  // Service process at the sustained rate. Owned by the caller; must
+  // outlive the simulation. Typically an EmpiricalDistribution resampling
+  // profiled service times (Section 2.2) or an analytic stand-in.
+  const Distribution* service = nullptr;
+
+  // Effective (or marginal, for the No-ML baseline) sprint speedup:
+  // mu_e / mu >= 1. A sprinting query's remaining work completes this much
+  // faster (Equation 1).
+  double sprint_speedup = 1.0;
+
+  // Policy knobs.
+  double timeout_seconds = 60.0;
+  double budget_capacity_seconds = 40.0;
+  double budget_refill_seconds = 200.0;
+
+  // Execution engine slots (k of G/G/k).
+  int slots = 1;
+
+  // Horizon.
+  size_t num_queries = 10000;
+  size_t warmup_queries = 0;  // excluded from the reported statistics
+
+  uint64_t seed = 1;
+};
+
+// Per-query record emitted by a simulation.
+struct SimQuery {
+  double arrival = 0.0;
+  double service_time = 0.0;  // at sustained rate
+  double start = 0.0;
+  double depart = 0.0;
+  bool timed_out = false;
+  bool sprinted = false;
+  double sprint_seconds = 0.0;
+
+  double ResponseTime() const { return depart - arrival; }
+  double QueueingDelay() const { return start - arrival; }
+};
+
+struct SimResult {
+  std::vector<double> response_times;  // post-warmup
+  double mean_response_time = 0.0;
+  double mean_queueing_delay = 0.0;
+  double fraction_sprinted = 0.0;
+  double fraction_timed_out = 0.0;
+  double total_sprint_seconds = 0.0;
+  double makespan = 0.0;  // departure time of the last query
+
+  double MedianResponseTime() const;
+  double PercentileResponseTime(double q) const;
+};
+
+// Runs one replication. Also exposes the raw per-query trace when
+// `trace_out` is non-null (used by tests and the Fig 1 timeline bench).
+SimResult SimulateQueue(const SimConfig& config,
+                        std::vector<SimQuery>* trace_out = nullptr);
+
+// Runs `replications` independent replications (seeds derived from
+// config.seed) and returns the grand mean response time. When `pool_size`
+// > 1 the replications run on that many threads.
+struct ReplicatedResult {
+  double mean_response_time = 0.0;
+  double coefficient_of_variation = 0.0;  // across replications
+  std::vector<double> replication_means;
+};
+
+ReplicatedResult SimulateReplicated(const SimConfig& config,
+                                    size_t replications,
+                                    size_t pool_size = 1);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_SIM_QUEUE_SIMULATOR_H_

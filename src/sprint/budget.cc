@@ -1,0 +1,71 @@
+#include "src/sprint/budget.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace msprint {
+
+SprintBudget::SprintBudget(double capacity_seconds, double refill_seconds) {
+  if (capacity_seconds < 0.0 || refill_seconds <= 0.0) {
+    throw std::invalid_argument("invalid budget parameters");
+  }
+  capacity_ = capacity_seconds;
+  refill_rate_ = capacity_seconds / refill_seconds;
+  level_ = capacity_seconds;
+}
+
+void SprintBudget::Advance(double now) const {
+  if (now <= last_update_) {
+    return;
+  }
+  level_ = std::min(capacity_, level_ + refill_rate_ * (now - last_update_));
+  last_update_ = now;
+}
+
+double SprintBudget::Available(double now) const {
+  Advance(now);
+  return level_;
+}
+
+double SprintBudget::ConsumeUpTo(double now, double amount) {
+  Advance(now);
+  const double granted = std::min(level_, std::max(0.0, amount));
+  level_ -= granted;
+  total_consumed_ += granted;
+  return granted;
+}
+
+bool SprintBudget::TryConsume(double now, double amount) {
+  Advance(now);
+  if (level_ + 1e-12 < amount) {
+    return false;
+  }
+  level_ -= amount;
+  total_consumed_ += amount;
+  return true;
+}
+
+void SprintBudget::ConsumeAllowingDebt(double now, double amount) {
+  Advance(now);
+  level_ -= std::max(0.0, amount);
+  total_consumed_ += std::max(0.0, amount);
+}
+
+double SprintBudget::TimeUntilAvailable(double now, double amount) const {
+  Advance(now);
+  if (amount <= level_) {
+    return now;
+  }
+  if (refill_rate_ <= 0.0 || amount > capacity_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return now + (amount - level_) / refill_rate_;
+}
+
+void SprintBudget::Reset(double now) {
+  level_ = capacity_;
+  last_update_ = now;
+  total_consumed_ = 0.0;
+}
+
+}  // namespace msprint

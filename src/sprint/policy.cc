@@ -1,0 +1,29 @@
+#include "src/sprint/policy.h"
+
+#include <sstream>
+
+namespace msprint {
+
+std::string SprintPolicy::Describe() const {
+  std::ostringstream os;
+  os << "policy{timeout=" << timeout_seconds
+     << "s, budget=" << budget_fraction * 100.0
+     << "%, refill=" << refill_seconds << "s, mech=" << ToString(mechanism);
+  if (mechanism == MechanismId::kCpuThrottle) {
+    os << ", throttle=" << throttle_fraction * 100.0
+       << "%, sprint_cpu=" << sprint_cpu_fraction * 100.0 << "%";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::unique_ptr<SprintMechanism> MakePolicyMechanism(
+    const SprintPolicy& policy) {
+  if (policy.mechanism == MechanismId::kCpuThrottle) {
+    return std::make_unique<CpuThrottleMechanism>(policy.throttle_fraction,
+                                                  policy.sprint_cpu_fraction);
+  }
+  return MakeMechanism(policy.mechanism);
+}
+
+}  // namespace msprint

@@ -1,0 +1,59 @@
+// A sprinting policy (Section 1): when to sprint (timeout), how fast
+// (mechanism / sprint rate) and how much (budget + refill). This struct is
+// the unit the performance models predict for and the explorer searches
+// over.
+
+#ifndef MSPRINT_SRC_SPRINT_POLICY_H_
+#define MSPRINT_SRC_SPRINT_POLICY_H_
+
+#include <string>
+
+#include "src/sprint/mechanism.h"
+
+namespace msprint {
+
+struct SprintPolicy {
+  // Seconds after *arrival* at which the timeout interrupt fires. If it
+  // fires before dispatch, the query sprints from its first instruction;
+  // if after, sprinting engages mid-execution (Section 2.1). A timeout of
+  // 0 sprints every query immediately (the "big-burst"/"small-burst"
+  // baselines of Section 4.3).
+  double timeout_seconds = 60.0;
+
+  // Budget capacity as a fraction of the refill window (Section 3's
+  // "Sprint Budget: 14%..80%" centroids; AWS T2.small = 0.20).
+  double budget_fraction = 0.20;
+
+  // Seconds for an empty budget to refill completely.
+  double refill_seconds = 200.0;
+
+  // Which hardware mechanism implements the sprint.
+  MechanismId mechanism = MechanismId::kDvfs;
+
+  // CpuThrottle-only knobs (ignored by other mechanisms): the sustained
+  // CPU share and the share granted while sprinting.
+  double throttle_fraction = 0.20;
+  double sprint_cpu_fraction = 1.00;
+
+  // True when the *tenant* decides when to burst (AWS T2 semantics: any
+  // instance with credits may jump to its sprint share at any moment). A
+  // provider that cannot schedule sprints must reserve the peak share for
+  // such tenants; provider-controlled (model-driven) policies schedule
+  // sprints via timeouts and budgets and can commit duty-weighted shares.
+  bool tenant_controlled_bursting = false;
+
+  double BudgetCapacitySeconds() const {
+    return budget_fraction * refill_seconds;
+  }
+
+  std::string Describe() const;
+};
+
+// Builds the mechanism object a policy calls for (CpuThrottle picks up the
+// policy's throttle/sprint fractions).
+std::unique_ptr<SprintMechanism> MakePolicyMechanism(
+    const SprintPolicy& policy);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_SPRINT_POLICY_H_

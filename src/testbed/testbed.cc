@@ -1,0 +1,295 @@
+#include "src/testbed/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace msprint {
+
+namespace {
+
+constexpr double kBudgetEpsilon = 1e-9;
+
+// Load-dependent dispatch overhead: a busy server pays scheduler and cache
+// pressure costs that grow (sub-linearly, capped) with queue depth. This is
+// one of the runtime dynamics invisible to the predictive simulator.
+// Kept small enough that the highest profiled utilization (95%) remains a
+// stable queue: 0.95 * (1 + 0.0015 * 10) < 1.
+constexpr double kLoadOverheadPerQueuedQuery = 0.0015;
+constexpr size_t kLoadOverheadCap = 10;
+
+double LoadOverheadFactor(size_t queue_length) {
+  return 1.0 + kLoadOverheadPerQueuedQuery *
+                   static_cast<double>(std::min(queue_length,
+                                                kLoadOverheadCap));
+}
+
+enum class EventType { kArrival, kDeparture, kTimeout };
+
+struct Event {
+  double time;
+  EventType type;
+  size_t query;
+  uint64_t stamp;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+std::vector<double> RunTrace::ResponseTimes() const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    out.push_back(q.ResponseTime());
+  }
+  return out;
+}
+
+double RunTrace::MedianResponseTime() const { return Median(ResponseTimes()); }
+
+double RunTrace::PercentileResponseTime(double q) const {
+  return Quantile(ResponseTimes(), q);
+}
+
+double Testbed::SustainedRatePerSecond(const QueryMix& mix,
+                                       const SprintPolicy& policy) {
+  const auto mechanism = MakePolicyMechanism(policy);
+  const auto& catalog = WorkloadCatalog::Get();
+  double total_weight = 0.0;
+  double weighted_service = 0.0;
+  for (const auto& component : mix.components()) {
+    const auto& spec = catalog.spec(component.workload);
+    weighted_service += component.weight *
+                        mix.MemberMeanServiceSeconds(component.workload) *
+                        mechanism->SustainedServiceMultiplier(spec);
+    total_weight += component.weight;
+  }
+  return total_weight / weighted_service;
+}
+
+double Testbed::SprintedRemainingSeconds(const WorkloadSpec& spec,
+                                         const SprintMechanism& mechanism,
+                                         double progress,
+                                         double sustained_total) {
+  progress = std::clamp(progress, 0.0, 1.0);
+  double remaining = 0.0;
+  double phase_start = 0.0;
+  for (const auto& phase : spec.phases) {
+    const double phase_end = phase_start + phase.work_fraction;
+    if (phase_end > progress) {
+      const double begin = std::max(phase_start, progress);
+      const double work = phase_end - begin;  // fraction of total work
+      // Instantaneous speedup is constant within a phase; query the curve
+      // at the phase midpoint of the remaining stretch.
+      const double tau = 0.5 * (begin + phase_end);
+      const double speedup = mechanism.InstantSpeedup(spec, std::min(tau,
+                                                                     0.999));
+      remaining += work * sustained_total / speedup;
+    }
+    phase_start = phase_end;
+  }
+  return remaining;
+}
+
+RunTrace Testbed::Run(const TestbedConfig& config) {
+  if (config.num_queries == 0 || config.slots < 1 ||
+      config.utilization <= 0.0) {
+    throw std::invalid_argument("invalid TestbedConfig");
+  }
+
+  const auto mechanism = MakePolicyMechanism(config.policy);
+  const auto& catalog = WorkloadCatalog::Get();
+
+  Rng rng(config.seed);
+
+  // Generate the query stream: workload draws, arrivals, service times.
+  const double arrival_rate =
+      config.utilization * SustainedRatePerSecond(config.mix, config.policy);
+  const auto interarrival =
+      MakeDistribution(config.arrival_kind, 1.0 / arrival_rate);
+
+  const size_t n = config.num_queries;
+  std::vector<Query> queries(n);
+  {
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      Query& q = queries[i];
+      q.id = i;
+      q.workload = config.mix.SampleWorkload(rng);
+      t += interarrival->Sample(rng);
+      q.arrival = t;
+      const auto& spec = catalog.spec(q.workload);
+      const double mean_service =
+          config.mix.MemberMeanServiceSeconds(q.workload) *
+          mechanism->SustainedServiceMultiplier(spec);
+      const LognormalDistribution jitter(mean_service,
+                                         std::max(0.05, spec.service_cov));
+      q.service_time = std::max(1e-6, jitter.Sample(rng));
+      q.size = q.service_time / mean_service;
+    }
+  }
+
+  const double timeout = config.disable_sprinting
+                             ? std::numeric_limits<double>::infinity()
+                             : config.policy.timeout_seconds;
+  SprintBudget budget(config.policy.BudgetCapacitySeconds(),
+                      config.policy.refill_seconds);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::deque<size_t> fifo;
+  std::vector<uint64_t> stamps(n, 0);
+  // Effective sustained duration including load overhead, set at dispatch.
+  std::vector<double> effective_service(n, 0.0);
+  int free_slots = config.slots;
+  size_t next_arrival = 0;
+  uint64_t stamp_counter = 0;
+
+  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+
+  auto schedule_departure = [&](size_t qi, double when) {
+    stamps[qi] = ++stamp_counter;
+    queries[qi].depart = when;
+    events.push({when, EventType::kDeparture, qi, stamps[qi]});
+  };
+
+  auto dispatch = [&](size_t qi, double now, size_t queue_len_at_dispatch) {
+    Query& q = queries[qi];
+    const auto& spec = catalog.spec(q.workload);
+    q.start = now;
+    effective_service[qi] =
+        q.service_time * LoadOverheadFactor(queue_len_at_dispatch);
+
+    if (config.force_full_sprint) {
+      // Marginal-rate profiling: the mechanism is engaged before dispatch,
+      // so the full execution runs sprinted and no toggle cost is paid.
+      q.timed_out = true;
+      q.sprinted = true;
+      q.sprint_begin = now;
+      schedule_departure(qi, now + SprintedRemainingSeconds(
+                                       spec, *mechanism, 0.0,
+                                       effective_service[qi]));
+      return;
+    }
+
+    const double timeout_at = q.arrival + timeout;
+    if (timeout_at <= now) {
+      q.timed_out = true;
+      if (budget.Available(now) > kBudgetEpsilon) {
+        q.sprinted = true;
+        q.sprint_begin = now;
+        // Sprint engages as the query starts; the toggle happens during
+        // dispatch and is cheaper than a mid-flight toggle, but not free.
+        const double duration =
+            0.5 * mechanism->ToggleLatencySeconds() +
+            SprintedRemainingSeconds(spec, *mechanism, 0.0,
+                                     effective_service[qi]);
+        schedule_departure(qi, now + duration);
+        return;
+      }
+    }
+    schedule_departure(qi, now + effective_service[qi]);
+    if (timeout_at > now && timeout_at < q.depart) {
+      events.push({timeout_at, EventType::kTimeout, qi, stamps[qi]});
+    }
+  };
+
+  auto complete = [&](size_t qi, double now) {
+    Query& q = queries[qi];
+    if (q.sprinted) {
+      q.sprint_seconds = now - q.sprint_begin;
+      if (!config.force_full_sprint) {
+        budget.ConsumeAllowingDebt(now, q.sprint_seconds);
+      }
+    }
+    ++free_slots;
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time;
+
+    switch (ev.type) {
+      case EventType::kArrival: {
+        fifo.push_back(ev.query);
+        if (++next_arrival < n) {
+          events.push({queries[next_arrival].arrival, EventType::kArrival,
+                       next_arrival, 0});
+        }
+        break;
+      }
+      case EventType::kDeparture: {
+        if (stamps[ev.query] != ev.stamp) {
+          break;
+        }
+        complete(ev.query, now);
+        break;
+      }
+      case EventType::kTimeout: {
+        Query& q = queries[ev.query];
+        if (stamps[ev.query] != ev.stamp || q.sprinted || q.depart <= now) {
+          break;
+        }
+        q.timed_out = true;
+        if (budget.Available(now) > kBudgetEpsilon) {
+          q.sprinted = true;
+          q.sprint_begin = now;
+          const auto& spec = catalog.spec(q.workload);
+          const double progress = (now - q.start) / effective_service[ev.query];
+          const double duration =
+              mechanism->ToggleLatencySeconds() +
+              SprintedRemainingSeconds(spec, *mechanism, progress,
+                                       effective_service[ev.query]);
+          schedule_departure(ev.query, now + duration);
+        }
+        break;
+      }
+    }
+
+    while (free_slots > 0 && !fifo.empty()) {
+      const size_t qi = fifo.front();
+      fifo.pop_front();
+      --free_slots;
+      dispatch(qi, std::max(now, queries[qi].arrival), fifo.size());
+    }
+  }
+
+  // Aggregate post-warmup.
+  RunTrace trace;
+  const size_t first = std::min(config.warmup_queries, n);
+  trace.queries.assign(queries.begin() + static_cast<long>(first),
+                       queries.end());
+  StreamingStats rt, qd, pt, upt;
+  size_t sprinted = 0;
+  size_t timed_out = 0;
+  for (const auto& q : trace.queries) {
+    rt.Add(q.ResponseTime());
+    qd.Add(q.QueueingDelay());
+    pt.Add(q.ProcessingTime());
+    if (q.sprinted) {
+      ++sprinted;
+      trace.total_sprint_seconds += q.sprint_seconds;
+    } else {
+      upt.Add(q.ProcessingTime());
+    }
+    if (q.timed_out) {
+      ++timed_out;
+    }
+    trace.makespan = std::max(trace.makespan, q.depart);
+  }
+  const double count = static_cast<double>(trace.queries.size());
+  trace.mean_response_time = rt.mean();
+  trace.mean_queueing_delay = qd.mean();
+  trace.mean_processing_time = pt.mean();
+  trace.mean_unsprinted_processing_time =
+      upt.count() > 0 ? upt.mean() : pt.mean();
+  trace.fraction_sprinted = count > 0 ? sprinted / count : 0.0;
+  trace.fraction_timed_out = count > 0 ? timed_out / count : 0.0;
+  return trace;
+}
+
+}  // namespace msprint

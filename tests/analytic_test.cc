@@ -1,0 +1,144 @@
+// Tests for the analytic sprint-aware M/G/1 approximation and the tail
+// (percentile) prediction APIs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/analytic_model.h"
+#include "src/core/effective_rate.h"
+
+namespace msprint {
+namespace {
+
+WorkloadProfile ExponentialProfile(double mean_service) {
+  WorkloadProfile profile;
+  profile.service_rate_per_second = 1.0 / mean_service;
+  profile.marginal_rate_per_second = 1.5 / mean_service;
+  Rng rng(31);
+  const ExponentialDistribution service(1.0 / mean_service);
+  for (int i = 0; i < 4000; ++i) {
+    profile.service_time_samples.push_back(service.Sample(rng));
+  }
+  return profile;
+}
+
+TEST(AnalyticModelTest, NoSprintReducesToMM1) {
+  // With the timeout effectively infinite, the fixed point must collapse
+  // to Pollaczek-Khinchine; for exponential service that is M/M/1:
+  // RT = 1 / (mu - lambda).
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  const AnalyticModel model;
+  for (double util : {0.3, 0.6, 0.8}) {
+    ModelInput input;
+    input.utilization = util;
+    input.timeout_seconds = 1e9;
+    input.budget_fraction = 0.2;
+    input.refill_seconds = 200.0;
+    const double predicted = model.PredictResponseTime(profile, input);
+    const double analytic = 10.0 / (1.0 - util);
+    // Empirical service moments carry sampling noise; allow 10%.
+    EXPECT_NEAR(predicted, analytic, 0.10 * analytic) << "util=" << util;
+    EXPECT_NEAR(model.last_fixed_point().sprint_fraction, 0.0, 1e-6);
+    EXPECT_TRUE(model.last_fixed_point().converged);
+  }
+}
+
+TEST(AnalyticModelTest, SprintingReducesPredictedResponseTime) {
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  const AnalyticModel model;
+  ModelInput no_sprint;
+  no_sprint.utilization = 0.8;
+  no_sprint.timeout_seconds = 1e9;
+  no_sprint.budget_fraction = 0.4;
+  no_sprint.refill_seconds = 200.0;
+  ModelInput eager = no_sprint;
+  eager.timeout_seconds = 0.0;
+  EXPECT_LT(model.PredictResponseTime(profile, eager),
+            model.PredictResponseTime(profile, no_sprint));
+}
+
+TEST(AnalyticModelTest, TightBudgetLimitsGains) {
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  const AnalyticModel model;
+  ModelInput base;
+  base.utilization = 0.85;
+  base.timeout_seconds = 0.0;
+  base.refill_seconds = 200.0;
+  base.budget_fraction = 0.8;
+  const double loose = model.PredictResponseTime(profile, base);
+  base.budget_fraction = 0.02;
+  const double tight = model.PredictResponseTime(profile, base);
+  EXPECT_LT(loose, tight);
+}
+
+TEST(AnalyticModelTest, SaturatedQueueReportsHugeWait) {
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  const AnalyticModel model;
+  ModelInput input;
+  input.utilization = 1.2;  // overloaded
+  input.timeout_seconds = 1e9;
+  input.budget_fraction = 0.0001;
+  input.refill_seconds = 200.0;
+  EXPECT_GT(model.PredictResponseTime(profile, input), 1e5);
+}
+
+TEST(AnalyticModelTest, WorseThanSimulatorUnderSprinting) {
+  // The motivation for simulation: on a sprint-heavy setting the analytic
+  // approximation should deviate from the simulator's answer by more than
+  // the simulator's own noise. (Both use the marginal rate here.)
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  ModelInput input;
+  input.utilization = 0.85;
+  input.timeout_seconds = 15.0;
+  input.budget_fraction = 0.3;
+  input.refill_seconds = 200.0;
+
+  const AnalyticModel analytic;
+  const double analytic_rt = analytic.PredictResponseTime(profile, input);
+
+  const EmpiricalDistribution service(profile.service_time_samples);
+  CalibrationConfig sim_config;
+  const double simulated = SimulatedResponseTime(
+      profile, input, service, profile.MarginalSpeedup(), sim_config);
+  // The fixed point should land in the simulator's ballpark; exactness is
+  // neither expected nor required (the mean-field step smooths away the
+  // timeout dynamics the simulator tracks).
+  EXPECT_NEAR(analytic_rt, simulated, 0.5 * simulated);
+}
+
+// ------------------------------------------------------- tail predictions
+
+TEST(PercentileTest, TailAboveMeanAndMonotone) {
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  NoMlModel model;
+  ModelInput input;
+  input.utilization = 0.7;
+  input.timeout_seconds = 40.0;
+  input.budget_fraction = 0.3;
+  input.refill_seconds = 200.0;
+  const double mean = model.PredictResponseTime(profile, input);
+  const double p50 = model.PredictResponseTimePercentile(profile, input, 0.5);
+  const double p95 = model.PredictResponseTimePercentile(profile, input, 0.95);
+  const double p99 = model.PredictResponseTimePercentile(profile, input, 0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  EXPECT_GT(p99, mean);
+}
+
+TEST(PercentileTest, SprintingShrinksTheTail) {
+  // Section 4.4: "By its nature, sprinting shrinks the tail."
+  const WorkloadProfile profile = ExponentialProfile(10.0);
+  NoMlModel model;
+  ModelInput sprinting;
+  sprinting.utilization = 0.85;
+  sprinting.timeout_seconds = 20.0;
+  sprinting.budget_fraction = 0.6;
+  sprinting.refill_seconds = 200.0;
+  ModelInput no_sprint = sprinting;
+  no_sprint.timeout_seconds = 1e9;
+  EXPECT_LT(
+      model.PredictResponseTimePercentile(profile, sprinting, 0.99),
+      model.PredictResponseTimePercentile(profile, no_sprint, 0.99));
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,176 @@
+// Tests for the burstable-instance colocation model: AWS T2 policy shape,
+// CPU commitment arithmetic, SLO-driven admission, and the revenue
+// amortization series.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cloud/burstable.h"
+
+namespace msprint {
+namespace {
+
+TEST(AwsPolicyTest, MatchesT2SmallShape) {
+  const SprintPolicy policy = AwsBurstablePolicy();
+  EXPECT_EQ(policy.mechanism, MechanismId::kCpuThrottle);
+  EXPECT_DOUBLE_EQ(policy.throttle_fraction, 0.20);
+  EXPECT_DOUBLE_EQ(policy.sprint_cpu_fraction, 1.0);  // 5X of 20%
+  EXPECT_DOUBLE_EQ(policy.timeout_seconds, 0.0);
+  // 720 sprint-seconds per hour.
+  EXPECT_DOUBLE_EQ(policy.BudgetCapacitySeconds(), 720.0);
+}
+
+TEST(CloudWorkloadTest, ArrivalRateFromAwsBaseline) {
+  const auto w = CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.8);
+  // Section 4.3: Jacobi at 80% of 14.8 qph sustained = 11.8 qph.
+  EXPECT_NEAR(w.arrival_qph, 11.84, 0.01);
+  EXPECT_NE(w.Label().find("Jacobi"), std::string::npos);
+}
+
+TEST(CpuCommitmentTest, AwsPolicyReservesPeakShare) {
+  // Tenant-controlled bursting: the provider must reserve the full sprint
+  // share (100% of the node), making AWS instances effectively dedicated.
+  EXPECT_DOUBLE_EQ(CpuCommitment(AwsBurstablePolicy()), 1.0);
+}
+
+TEST(CpuCommitmentTest, ProviderScheduledIsDutyWeighted) {
+  SprintPolicy policy = AwsBurstablePolicy();
+  policy.tenant_controlled_bursting = false;
+  // 20% sustained + 80% extra during sprints at 20% duty = 36%.
+  EXPECT_NEAR(CpuCommitment(policy), 0.36, 1e-12);
+  policy.budget_fraction = 0.05;
+  EXPECT_NEAR(CpuCommitment(policy), 0.24, 1e-12);
+}
+
+TEST(CpuCommitmentTest, RequiresThrottlePolicy) {
+  SprintPolicy dvfs;
+  dvfs.mechanism = MechanismId::kDvfs;
+  EXPECT_THROW(CpuCommitment(dvfs), std::invalid_argument);
+}
+
+TEST(ResponseTimeTest, ThrottlingWithoutSprintsBlowsTheBaseline) {
+  const auto w = CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7);
+  const double baseline = NoThrottleResponseTime(w, 3);
+  EXPECT_GT(baseline, 0.0);
+  // A throttled instance that cannot sprint is far slower than the normal
+  // (power-capped, unthrottled) server...
+  SprintPolicy no_sprint = AwsBurstablePolicy();
+  no_sprint.timeout_seconds = 1e12;
+  no_sprint.budget_fraction = 1e-9;
+  EXPECT_GT(ThrottledResponseTime(w, no_sprint, 3), 2.0 * baseline);
+  // ...while AWS bursting (at the lifted power cap) can even beat it.
+  EXPECT_LT(ThrottledResponseTime(w, AwsBurstablePolicy(), 3),
+            1.3 * baseline);
+}
+
+TEST(ResponseTimeTest, MoreBudgetNeverMuchWorse) {
+  const auto w = CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.7);
+  SprintPolicy tight = AwsBurstablePolicy();
+  tight.budget_fraction = 0.02;
+  SprintPolicy loose = AwsBurstablePolicy();
+  loose.budget_fraction = 0.5;
+  const double rt_tight = ThrottledResponseTime(w, tight, 5);
+  const double rt_loose = ThrottledResponseTime(w, loose, 5);
+  EXPECT_LT(rt_loose, rt_tight * 1.05);
+}
+
+TEST(ResponseTimeTest, SampleVectorMatchesConfiguredLength) {
+  const auto w = CloudWorkload::AtAwsBaseline(WorkloadId::kBfs, 0.5);
+  const auto samples =
+      ThrottledResponseTimes(w, AwsBurstablePolicy(), 7, 1000);
+  EXPECT_EQ(samples.size(), 900u);  // minus 10% warmup
+}
+
+TEST(ColocationTest, AdmitsUntilCpuExhausted) {
+  // A policy whose sprint budget (540 sprint-seconds/hour) comfortably
+  // covers the offered load (~216 busy-seconds/hour at burst speed for
+  // Jacobi at 30% of the AWS baseline), so nearly every query runs at
+  // burst speed and the SLO holds.
+  SprintPolicy generous;
+  generous.mechanism = MechanismId::kCpuThrottle;
+  generous.throttle_fraction = 0.40;
+  generous.sprint_cpu_fraction = 1.0;
+  generous.budget_fraction = 0.15;
+  generous.refill_seconds = 3600.0;
+  generous.timeout_seconds = 0.0;
+
+  std::vector<CloudWorkload> workloads;
+  for (int i = 0; i < 3; ++i) {
+    workloads.push_back(CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi,
+                                                     0.3));
+  }
+  const ColocationPlan plan = Colocate(
+      "test", workloads, [&](const CloudWorkload&) { return generous; }, 11);
+  // Commitment per workload is 0.40 + 0.60 * 0.15 = 0.49: two fit, the
+  // third would oversubscribe.
+  EXPECT_EQ(plan.admitted_count, 2u);
+  EXPECT_LE(plan.total_cpu_commitment, 1.0);
+  EXPECT_DOUBLE_EQ(plan.revenue_per_hour, 2 * kAwsT2SmallPricePerHour);
+  ASSERT_EQ(plan.placements.size(), 3u);
+  EXPECT_TRUE(plan.placements[0].admitted);
+  EXPECT_TRUE(plan.placements[1].admitted);
+  EXPECT_FALSE(plan.placements[2].admitted);
+  EXPECT_TRUE(plan.placements[2].meets_slo);  // rejected on CPU, not SLO
+}
+
+TEST(ColocationTest, SloViolationBlocksAdmission) {
+  // Heavy throttling with no sprint capacity at high load: SLO must fail.
+  SprintPolicy strangled;
+  strangled.mechanism = MechanismId::kCpuThrottle;
+  strangled.throttle_fraction = 0.1;
+  strangled.sprint_cpu_fraction = 0.1;
+  strangled.budget_fraction = 0.01;
+  strangled.refill_seconds = 3600.0;
+  strangled.timeout_seconds = 1e9;
+
+  const std::vector<CloudWorkload> workloads = {
+      CloudWorkload::AtAwsBaseline(WorkloadId::kJacobi, 0.8)};
+  const ColocationPlan plan = Colocate(
+      "test", workloads, [&](const CloudWorkload&) { return strangled; }, 13);
+  EXPECT_EQ(plan.admitted_count, 0u);
+  EXPECT_FALSE(plan.placements[0].meets_slo);
+  EXPECT_DOUBLE_EQ(plan.revenue_per_hour, 0.0);
+}
+
+TEST(ColocationTest, MaxRevenueIsFiveInstances) {
+  EXPECT_NEAR(ColocationPlan::MaxRevenuePerHour(), 0.13, 1e-12);
+}
+
+TEST(AmortizationTest, SeriesShape) {
+  const auto series = AmortizationSeries(
+      /*aws_rate=*/0.026, /*model_rate=*/0.078, /*profiling_hours=*/28.8,
+      /*horizon_hours=*/kMeanInstanceLifetimeHours, /*step_hours=*/1.0);
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.front().hours, 0.0);
+  EXPECT_DOUBLE_EQ(series.front().model_revenue, 0.0);
+  // During profiling the model-driven deployment earns nothing.
+  for (const auto& point : series) {
+    if (point.hours <= 28.8) {
+      EXPECT_DOUBLE_EQ(point.model_revenue, 0.0);
+    }
+  }
+  // Crossover exists and happens after profiling completes: with a 3X rate
+  // the break-even lands near 43 hours.
+  double crossover = -1.0;
+  for (const auto& point : series) {
+    if (point.model_revenue > point.aws_revenue) {
+      crossover = point.hours;
+      break;
+    }
+  }
+  EXPECT_GT(crossover, 28.8);
+  EXPECT_LT(crossover, 60.0);
+  // Over the instance lifetime the model-driven deployment wins.
+  EXPECT_GT(series.back().model_revenue, series.back().aws_revenue);
+}
+
+TEST(AmortizationTest, EqualRatesNeverCrossOver) {
+  const auto series = AmortizationSeries(0.05, 0.05, 10.0, 100.0, 5.0);
+  for (const auto& point : series) {
+    EXPECT_LE(point.model_revenue, point.aws_revenue + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,414 @@
+// Unit tests for src/common: RNG determinism and statistical sanity,
+// distribution moments, streaming statistics, quantiles, CDFs, text tables
+// and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/common/distribution.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/thread_pool.h"
+
+namespace msprint {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenZeroNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleOpenZero();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(99);
+  StreamingStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextDouble());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedZeroReturnsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(6));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(21);
+  StreamingStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, DeriveSeedIsStableAndDistinct) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_NE(DeriveSeed(42, 0), DeriveSeed(42, 1));
+  EXPECT_NE(DeriveSeed(42, 0), DeriveSeed(43, 0));
+}
+
+TEST(RngTest, LongJumpChangesStream) {
+  Rng a(3);
+  Rng b(3);
+  b.LongJump();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsTest, StreamingMeanVariance) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.cov(), 0.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  Rng rng(17);
+  StreamingStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 1.0;
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 3.0, 2.0}), 2.0);
+}
+
+TEST(StatsTest, QuantileThrowsOnEmpty) {
+  EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(StatsTest, AbsoluteRelativeError) {
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(5.0, 0.0), 5.0);
+}
+
+TEST(StatsTest, MedianAbsoluteRelativeError) {
+  const std::vector<double> predicted = {11, 22, 30};
+  const std::vector<double> observed = {10, 20, 30};
+  EXPECT_NEAR(MedianAbsoluteRelativeError(predicted, observed), 0.1, 1e-12);
+  EXPECT_THROW(MedianAbsoluteRelativeError({1.0}, {}), std::invalid_argument);
+}
+
+TEST(StatsTest, EmpiricalCdf) {
+  EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.Probability(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Probability(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Probability(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Probability(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Value(1.0), 4.0);
+  const auto at = cdf.AtThresholds({1.0, 3.0});
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(at[1].second, 0.75);
+}
+
+TEST(StatsTest, TailFraction) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(TailFraction(values, 3.0), 0.4);
+  EXPECT_DOUBLE_EQ(TailFraction(values, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(TailFraction({}, 1.0), 0.0);
+}
+
+// --------------------------------------------------------- distributions
+
+struct DistCase {
+  DistributionKind kind;
+  double mean;
+};
+
+class DistributionMeanTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionMeanTest, SampleMeanMatchesAnalyticMean) {
+  const DistCase param = GetParam();
+  const auto dist = MakeDistribution(param.kind, param.mean);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_NEAR(dist->Mean(), param.mean, param.mean * 1e-6);
+  Rng rng(31);
+  StreamingStats stats;
+  const int n = param.kind == DistributionKind::kPareto ? 2000000 : 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist->Sample(rng);
+    ASSERT_GE(x, 0.0);
+    stats.Add(x);
+  }
+  // Heavy tails converge slowly; tolerate 15% there, 2% elsewhere.
+  const double tol = param.kind == DistributionKind::kPareto ? 0.15 : 0.02;
+  EXPECT_NEAR(stats.mean(), param.mean, param.mean * tol)
+      << dist->Describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistributionMeanTest,
+    ::testing::Values(
+        DistCase{DistributionKind::kExponential, 10.0},
+        DistCase{DistributionKind::kExponential, 0.5},
+        DistCase{DistributionKind::kDeterministic, 42.0},
+        DistCase{DistributionKind::kUniform, 8.0},
+        DistCase{DistributionKind::kLognormal, 30.0},
+        DistCase{DistributionKind::kWeibull, 12.0},
+        DistCase{DistributionKind::kHyperexponential, 25.0},
+        DistCase{DistributionKind::kPareto, 20.0}));
+
+TEST(DistributionTest, ExponentialVariance) {
+  ExponentialDistribution dist(0.25);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 16.0);
+}
+
+TEST(DistributionTest, DeterministicHasZeroVariance) {
+  DeterministicDistribution dist(3.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 3.0);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 0.0);
+}
+
+TEST(DistributionTest, ParetoSamplesAboveScaleAndCapped) {
+  ParetoDistribution dist(0.5, 2.0, 100.0);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 200.0);
+  }
+}
+
+TEST(DistributionTest, ParetoWithMeanHitsTarget) {
+  const auto dist = ParetoDistribution::WithMean(0.5, 10.0);
+  EXPECT_NEAR(dist.Mean(), 10.0, 1e-9);
+}
+
+TEST(DistributionTest, LognormalCovRealized) {
+  LognormalDistribution dist(20.0, 0.5);
+  Rng rng(13);
+  StreamingStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.mean(), 20.0, 0.3);
+  EXPECT_NEAR(stats.cov(), 0.5, 0.02);
+}
+
+TEST(DistributionTest, WeibullMomentsMatchAnalytic) {
+  WeibullDistribution dist(0.8, 5.0);
+  Rng rng(41);
+  StreamingStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.mean(), dist.Mean(), 0.02 * dist.Mean());
+  EXPECT_NEAR(stats.variance(), dist.Variance(), 0.05 * dist.Variance());
+}
+
+TEST(DistributionTest, WeibullShapeOneIsExponential) {
+  // k = 1 reduces to exponential with rate 1/scale.
+  WeibullDistribution weibull(1.0, 4.0);
+  EXPECT_NEAR(weibull.Mean(), 4.0, 1e-9);
+  EXPECT_NEAR(weibull.Variance(), 16.0, 1e-9);
+}
+
+TEST(DistributionTest, WeibullWithMeanHitsTarget) {
+  const auto dist = WeibullDistribution::WithMean(0.7, 9.0);
+  EXPECT_NEAR(dist.Mean(), 9.0, 1e-9);
+}
+
+TEST(DistributionTest, HyperexponentialMomentsAndBurstiness) {
+  HyperexponentialDistribution dist(0.3, 1.0, 0.1);
+  Rng rng(43);
+  StreamingStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.mean(), dist.Mean(), 0.02 * dist.Mean());
+  EXPECT_NEAR(stats.variance(), dist.Variance(), 0.05 * dist.Variance());
+  // CoV strictly above exponential's 1.
+  EXPECT_GT(std::sqrt(dist.Variance()) / dist.Mean(), 1.1);
+}
+
+TEST(DistributionTest, NewKindsInvalidParamsThrow) {
+  EXPECT_THROW(WeibullDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeibullDistribution(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(HyperexponentialDistribution(-0.1, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(HyperexponentialDistribution(0.5, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DistributionTest, EmpiricalResamplesOnlyGivenValues) {
+  EmpiricalDistribution dist({1.0, 2.0, 3.0});
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+  EXPECT_DOUBLE_EQ(dist.Mean(), 2.0);
+}
+
+TEST(DistributionTest, InvalidParametersThrow) {
+  EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DeterministicDistribution(-1.0), std::invalid_argument);
+  EXPECT_THROW(UniformDistribution(5.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(LognormalDistribution(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(EmpiricalDistribution({}), std::invalid_argument);
+  EXPECT_THROW(MakeDistribution(DistributionKind::kEmpirical, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DistributionTest, KindNames) {
+  EXPECT_EQ(ToString(DistributionKind::kExponential), "exponential");
+  EXPECT_EQ(ToString(DistributionKind::kPareto), "pareto");
+  EXPECT_EQ(ToString(DistributionKind::kDeterministic), "deterministic");
+}
+
+// -------------------------------------------------------------- table
+
+TEST(TableTest, AlignsColumnsAndCountsRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", TextTable::Num(1.5)});
+  table.AddRow({"bee", TextTable::Pct(0.25)});
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("25.0%"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_EQ(table.ToCsv(), "a,b,c\nonly,,\n");
+}
+
+// --------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace msprint

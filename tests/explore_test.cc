@@ -1,0 +1,189 @@
+// Tests for the policy explorer: simulated annealing against models with
+// known optima, the budget/SLO search, and the Few-to-Many / Adrenaline
+// baseline adaptations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/explore/explorer.h"
+
+namespace msprint {
+namespace {
+
+// A model with a known convex response-time curve in the timeout.
+class ConvexModel final : public PerformanceModel {
+ public:
+  explicit ConvexModel(double best_timeout) : best_(best_timeout) {}
+  std::string name() const override { return "Convex"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput& input) const override {
+    const double d = input.timeout_seconds - best_;
+    return 100.0 + 0.01 * d * d;
+  }
+
+ private:
+  double best_;
+};
+
+// Two local minima; the global one sits at timeout 250.
+class BimodalModel final : public PerformanceModel {
+ public:
+  std::string name() const override { return "Bimodal"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput& input) const override {
+    const double t = input.timeout_seconds;
+    const double local = 120.0 + 0.02 * (t - 40.0) * (t - 40.0);
+    const double global = 80.0 + 0.02 * (t - 250.0) * (t - 250.0);
+    return std::min(local, global);
+  }
+};
+
+WorkloadProfile DummyProfile() {
+  WorkloadProfile profile;
+  profile.service_rate_per_second = 1.0 / 60.0;
+  profile.marginal_rate_per_second = 1.4 / 60.0;
+  Rng rng(5);
+  const LognormalDistribution jitter(60.0, 0.2);
+  for (int i = 0; i < 400; ++i) {
+    profile.service_time_samples.push_back(jitter.Sample(rng));
+  }
+  return profile;
+}
+
+TEST(AnnealingTest, FindsConvexMinimum) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 400;
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config);
+  EXPECT_NEAR(result.best_timeout_seconds, 140.0, 10.0);
+  EXPECT_NEAR(result.best_response_time, 100.0, 1.0);
+  EXPECT_EQ(result.trajectory.size(), 400u);
+}
+
+TEST(AnnealingTest, EscapesLocalMinimum) {
+  const BimodalModel model;
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 600;
+  config.seed = 17;
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config);
+  // Must land in the global basin, not the 120-second local one.
+  EXPECT_NEAR(result.best_timeout_seconds, 250.0, 25.0);
+  EXPECT_LT(result.best_response_time, 85.0);
+}
+
+TEST(AnnealingTest, RespectsBounds) {
+  const ConvexModel model(1000.0);  // optimum outside the search range
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.timeout_max_seconds = 200.0;
+  config.max_iterations = 300;
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config);
+  EXPECT_LE(result.best_timeout_seconds, 200.0);
+  EXPECT_GE(result.best_timeout_seconds, 0.0);
+  // Pushed against the feasible edge.
+  EXPECT_GT(result.best_timeout_seconds, 150.0);
+}
+
+TEST(AnnealingTest, TrajectoryRecordsAcceptedMoves) {
+  const ConvexModel model(100.0);
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 50;
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config);
+  size_t accepted = 0;
+  for (const auto& step : result.trajectory) {
+    if (step.accepted) {
+      ++accepted;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(BudgetSearchTest, PicksCheapestFeasibleBudget) {
+  // Response time improves with budget: RT = 200 - 100 * budget_fraction.
+  class BudgetModel final : public PerformanceModel {
+   public:
+    std::string name() const override { return "Budget"; }
+    double PredictResponseTime(const WorkloadProfile&,
+                               const ModelInput& input) const override {
+      return 200.0 - 100.0 * input.budget_fraction;
+    }
+  };
+  const BudgetModel model;
+  const WorkloadProfile profile = DummyProfile();
+  const auto result = FindCheapestPolicyMeetingSlo(
+      model, profile, ModelInput{}, {0.1, 0.2, 0.4, 0.8}, 170.0,
+      /*optimize_timeout=*/false, ExploreConfig{});
+  ASSERT_TRUE(result.feasible);
+  // 0.1 -> 190 (misses), 0.2 -> 180 (misses), 0.4 -> 160 (meets).
+  EXPECT_DOUBLE_EQ(result.budget_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(result.predicted_response_time, 160.0);
+}
+
+TEST(BudgetSearchTest, InfeasibleSloReported) {
+  const ConvexModel model(50.0);  // RT >= 100 everywhere
+  const WorkloadProfile profile = DummyProfile();
+  const auto result = FindCheapestPolicyMeetingSlo(
+      model, profile, ModelInput{}, {0.2, 0.8}, 50.0,
+      /*optimize_timeout=*/false, ExploreConfig{});
+  EXPECT_FALSE(result.feasible);
+}
+
+// ----------------------------------------------------------- baselines
+
+TEST(BaselineTest, FewToManyReturnsTimeoutThatDrainsBudget) {
+  const WorkloadProfile profile = DummyProfile();
+  ModelInput base;
+  base.utilization = 0.8;
+  base.budget_fraction = 0.2;
+  base.refill_seconds = 200.0;
+  const double timeout = FewToManyTimeout(profile, base);
+  EXPECT_GE(timeout, 0.0);
+  EXPECT_LE(timeout, 300.0);
+}
+
+TEST(BaselineTest, FewToManyTightBudgetGivesLargerTimeoutThanLoose) {
+  const WorkloadProfile profile = DummyProfile();
+  ModelInput tight;
+  tight.utilization = 0.8;
+  tight.budget_fraction = 0.05;
+  tight.refill_seconds = 200.0;
+  ModelInput loose = tight;
+  loose.budget_fraction = 0.9;
+  // With a tight budget only the slowest queries can sprint (large
+  // timeout); a loose budget is only exhausted by sprinting aggressively.
+  EXPECT_GE(FewToManyTimeout(profile, tight),
+            FewToManyTimeout(profile, loose));
+}
+
+TEST(BaselineTest, AdrenalineTimeoutNearNoSprintP85) {
+  const WorkloadProfile profile = DummyProfile();
+  ModelInput base;
+  base.utilization = 0.5;
+  const double timeout = AdrenalineTimeout(profile, base);
+  // At 50% utilization with ~60 s services, the 85th percentile response
+  // time sits above the mean service time but well below heavy-queue
+  // territory.
+  EXPECT_GT(timeout, 60.0);
+  EXPECT_LT(timeout, 400.0);
+}
+
+TEST(BaselineTest, AdrenalineGrowsWithUtilization) {
+  const WorkloadProfile profile = DummyProfile();
+  ModelInput low;
+  low.utilization = 0.3;
+  ModelInput high;
+  high.utilization = 0.9;
+  EXPECT_LT(AdrenalineTimeout(profile, low),
+            AdrenalineTimeout(profile, high));
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,136 @@
+// End-to-end integration tests: the full pipeline of Figure 2 — profile a
+// workload on the ground-truth testbed, calibrate effective sprint rates
+// against the timeout-aware simulator, train the random decision forest,
+// and check that the hybrid model predicts held-out response times better
+// than the No-ML baseline (the paper's core claim).
+
+#include <gtest/gtest.h>
+
+#include "src/core/effective_rate.h"
+#include "src/core/evaluation.h"
+#include "src/explore/explorer.h"
+
+namespace msprint {
+namespace {
+
+// Shared fixture: one moderately sized profiled+calibrated Jacobi run,
+// built once for the whole test suite.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ProfilerConfig profiler;
+    profiler.sample_grid_points = 140;
+    profiler.queries_per_run = 3000;
+    profiler.warmup_queries = 300;
+    profiler.replications_per_point = 2;
+    profiler.pool_size = 8;
+    SprintPolicy platform;
+    platform.mechanism = MechanismId::kDvfs;
+    profile_ = new WorkloadProfile(ProfileWorkload(
+        QueryMix::Single(WorkloadId::kJacobi), platform, profiler));
+
+    CalibrationConfig calibration;
+    calibration.sim_queries = 8000;
+    calibration.sim_warmup = 800;
+    CalibrateProfile(*profile_, calibration, 8);
+
+    Rng rng(5);
+    split_ = new ProfileSplit(SplitProfileRows(*profile_, 0.8, rng));
+
+    PredictionSimConfig sim;
+    sim.num_queries = 8000;
+    sim.warmup = 800;
+    hybrid_ = new HybridModel(HybridModel::Train({&split_->train}, {}, sim));
+    noml_ = new NoMlModel(sim);
+  }
+
+  static void TearDownTestSuite() {
+    delete hybrid_;
+    delete noml_;
+    delete split_;
+    delete profile_;
+  }
+
+  static WorkloadProfile* profile_;
+  static ProfileSplit* split_;
+  static HybridModel* hybrid_;
+  static NoMlModel* noml_;
+};
+
+WorkloadProfile* PipelineTest::profile_ = nullptr;
+ProfileSplit* PipelineTest::split_ = nullptr;
+HybridModel* PipelineTest::hybrid_ = nullptr;
+NoMlModel* PipelineTest::noml_ = nullptr;
+
+TEST_F(PipelineTest, ProfiledRatesMatchCatalog) {
+  EXPECT_NEAR(profile_->service_rate_per_second * kSecondsPerHour, 51.0, 2.0);
+  EXPECT_NEAR(profile_->marginal_rate_per_second * kSecondsPerHour, 74.0,
+              3.0);
+}
+
+TEST_F(PipelineTest, EffectiveSpeedupsMostlyBelowMarginal) {
+  // Runtime dynamics (mid-flight sprints into sprint-unfriendly phases,
+  // toggle latency) mean the amortized speedup usually falls short of the
+  // marginal speedup.
+  size_t below = 0;
+  for (const auto& row : profile_->rows) {
+    EXPECT_GT(row.effective_speedup, 0.4);
+    EXPECT_LT(row.effective_speedup, profile_->MarginalSpeedup() * 1.5 + 0.01);
+    if (row.effective_speedup < profile_->MarginalSpeedup()) {
+      ++below;
+    }
+  }
+  EXPECT_GT(below, profile_->rows.size() / 2);
+}
+
+TEST_F(PipelineTest, HybridMedianErrorSmall) {
+  const auto cases = MakeCases(*profile_, split_->test_rows);
+  const double err = MedianError(*hybrid_, cases);
+  // Paper: median error below ~4.5% in most tests, 11% worst case. The
+  // shorter runs used in this test tolerate a slightly higher bar.
+  EXPECT_LT(err, 0.10);
+}
+
+TEST_F(PipelineTest, HybridBeatsNoMlOnHeldOutRows) {
+  const auto cases = MakeCases(*profile_, split_->test_rows);
+  const double hybrid_err = MedianError(*hybrid_, cases);
+  const double noml_err = MedianError(*noml_, cases);
+  EXPECT_LT(hybrid_err, noml_err);
+}
+
+TEST_F(PipelineTest, NoMlDegradesAtHighUtilization) {
+  // Fig 7's shape: under heavy arrivals the marginal-rate simulator
+  // misjudges the interdependent queueing badly.
+  const auto cases = MakeCases(*profile_, split_->test_rows);
+  std::vector<double> low, high;
+  const auto errors = EvaluateErrors(*noml_, cases);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    (cases[i].row.utilization <= 0.5 ? low : high).push_back(errors[i]);
+  }
+  ASSERT_FALSE(low.empty());
+  ASSERT_FALSE(high.empty());
+  EXPECT_GT(Median(high), Median(low));
+}
+
+TEST_F(PipelineTest, ExplorerFindsTimeoutNoWorseThanExtremes) {
+  ModelInput base;
+  base.utilization = 0.75;
+  base.budget_fraction = 0.2;
+  base.refill_seconds = 200.0;
+  ExploreConfig config;
+  config.max_iterations = 60;
+  const ExploreResult explored =
+      ExploreTimeout(*hybrid_, *profile_, base, config);
+
+  ModelInput zero = base;
+  zero.timeout_seconds = 0.0;
+  ModelInput huge = base;
+  huge.timeout_seconds = 280.0;
+  const double rt_zero = hybrid_->PredictResponseTime(*profile_, zero);
+  const double rt_huge = hybrid_->PredictResponseTime(*profile_, huge);
+  EXPECT_LE(explored.best_response_time,
+            std::min(rt_zero, rt_huge) * 1.02);
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,186 @@
+// Tests for the multi-class timeout-aware simulator (the Section 5
+// "multiple sprint rates and timeouts" extension).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/multiclass_simulator.h"
+
+namespace msprint {
+namespace {
+
+MultiClassSimConfig TwoClassConfig(const Distribution& fast,
+                                   const Distribution& slow) {
+  MultiClassSimConfig config;
+  config.arrival_rate_per_second = 0.02;
+  config.classes = {
+      {"fast", 1.0, &fast, 30.0, 2.0},
+      {"slow", 1.0, &slow, 90.0, 1.5},
+  };
+  config.budget_capacity_seconds = 100.0;
+  config.budget_refill_seconds = 400.0;
+  config.num_queries = 6000;
+  config.warmup_queries = 600;
+  config.seed = 5;
+  return config;
+}
+
+TEST(MultiClassTest, MatchesSingleClassSimulatorWhenHomogeneous) {
+  const ExponentialDistribution service(1.0 / 40.0);
+  MultiClassSimConfig multi;
+  multi.arrival_rate_per_second = 0.016;  // util 0.64: stable run means
+  multi.classes = {{"only", 1.0, &service, 60.0, 1.5}};
+  multi.budget_capacity_seconds = 40.0;
+  multi.budget_refill_seconds = 200.0;
+  multi.num_queries = 8000;
+  multi.warmup_queries = 800;
+  multi.seed = 9;
+
+  SimConfig single;
+  single.arrival_rate_per_second = multi.arrival_rate_per_second;
+  single.service = &service;
+  single.sprint_speedup = 1.5;
+  single.timeout_seconds = 60.0;
+  single.budget_capacity_seconds = 40.0;
+  single.budget_refill_seconds = 200.0;
+  single.num_queries = multi.num_queries;
+  single.warmup_queries = multi.warmup_queries;
+  single.seed = 9;
+
+  // Different RNG draw orders (class sampling consumes extra draws), so
+  // compare statistically: average both simulators across several seeds.
+  double multi_mean = 0.0;
+  double single_mean = 0.0;
+  const int kSeeds = 12;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    multi.seed = seed;
+    single.seed = seed;
+    multi_mean += SimulateMultiClassQueue(multi).mean_response_time;
+    single_mean += SimulateQueue(single).mean_response_time;
+  }
+  multi_mean /= kSeeds;
+  single_mean /= kSeeds;
+  EXPECT_NEAR(multi_mean, single_mean, 0.06 * single_mean);
+}
+
+TEST(MultiClassTest, PerClassStatsSeparate) {
+  const ExponentialDistribution fast(1.0 / 20.0);
+  const ExponentialDistribution slow(1.0 / 80.0);
+  const auto result = SimulateMultiClassQueue(TwoClassConfig(fast, slow));
+  ASSERT_EQ(result.per_class.size(), 2u);
+  const auto& fast_result = result.Class("fast");
+  const auto& slow_result = result.Class("slow");
+  EXPECT_GT(fast_result.completed, 1000u);
+  EXPECT_GT(slow_result.completed, 1000u);
+  // Slow class must see longer response times (bigger service).
+  EXPECT_GT(slow_result.mean_response_time,
+            fast_result.mean_response_time);
+  EXPECT_THROW(result.Class("missing"), std::out_of_range);
+}
+
+TEST(MultiClassTest, ClassTimeoutControlsItsSprinting) {
+  const ExponentialDistribution service(1.0 / 50.0);
+  MultiClassSimConfig config;
+  config.arrival_rate_per_second = 0.03;
+  config.classes = {
+      {"eager", 1.0, &service, 0.0, 1.8},    // sprints immediately
+      {"never", 1.0, &service, 1e18, 1.8},   // never sprints
+  };
+  config.budget_capacity_seconds = 1e7;
+  config.budget_refill_seconds = 1e3;
+  config.num_queries = 4000;
+  config.warmup_queries = 400;
+  config.seed = 13;
+  const auto result = SimulateMultiClassQueue(config);
+  EXPECT_DOUBLE_EQ(result.Class("eager").fraction_sprinted, 1.0);
+  EXPECT_DOUBLE_EQ(result.Class("never").fraction_sprinted, 0.0);
+}
+
+TEST(MultiClassTest, SharedBudgetCouplesClasses) {
+  // With a huge budget both classes sprint freely; with a tiny budget the
+  // aggressive class starves the other.
+  const ExponentialDistribution service(1.0 / 50.0);
+  MultiClassSimConfig config;
+  config.arrival_rate_per_second = 0.03;
+  config.classes = {
+      {"greedy", 3.0, &service, 0.0, 2.0},
+      {"patient", 1.0, &service, 40.0, 2.0},
+  };
+  config.num_queries = 6000;
+  config.warmup_queries = 600;
+  config.seed = 21;
+
+  config.budget_capacity_seconds = 1e7;
+  config.budget_refill_seconds = 1e3;
+  const auto loose = SimulateMultiClassQueue(config);
+
+  config.budget_capacity_seconds = 5.0;
+  config.budget_refill_seconds = 2000.0;
+  const auto tight = SimulateMultiClassQueue(config);
+
+  EXPECT_GT(loose.Class("patient").fraction_sprinted,
+            tight.Class("patient").fraction_sprinted + 0.2);
+}
+
+TEST(MultiClassTest, WeightsControlArrivalShare) {
+  const ExponentialDistribution service(1.0 / 30.0);
+  MultiClassSimConfig config;
+  config.arrival_rate_per_second = 0.02;
+  config.classes = {
+      {"heavy", 3.0, &service, 60.0, 1.5},
+      {"light", 1.0, &service, 60.0, 1.5},
+  };
+  config.budget_capacity_seconds = 40.0;
+  config.budget_refill_seconds = 200.0;
+  config.num_queries = 8000;
+  config.seed = 3;
+  const auto result = SimulateMultiClassQueue(config);
+  const double share =
+      static_cast<double>(result.Class("heavy").completed) /
+      static_cast<double>(config.num_queries);
+  EXPECT_NEAR(share, 0.75, 0.03);
+}
+
+TEST(MultiClassTest, DifferentSpeedupsShowInResponseTimes) {
+  const ExponentialDistribution service(1.0 / 60.0);
+  MultiClassSimConfig config;
+  config.arrival_rate_per_second = 0.012;
+  config.classes = {
+      {"boosted", 1.0, &service, 0.0, 3.0},
+      {"mild", 1.0, &service, 0.0, 1.1},
+  };
+  config.budget_capacity_seconds = 1e7;
+  config.budget_refill_seconds = 1e3;
+  config.num_queries = 6000;
+  config.warmup_queries = 600;
+  config.seed = 7;
+  const auto result = SimulateMultiClassQueue(config);
+  EXPECT_LT(result.Class("boosted").mean_response_time,
+            result.Class("mild").mean_response_time * 0.75);
+}
+
+TEST(MultiClassTest, InvalidConfigsThrow) {
+  const ExponentialDistribution service(1.0);
+  MultiClassSimConfig config;
+  config.num_queries = 100;
+  EXPECT_THROW(SimulateMultiClassQueue(config), std::invalid_argument);
+
+  config.classes = {{"a", 1.0, nullptr, 60.0, 1.5}};
+  EXPECT_THROW(SimulateMultiClassQueue(config), std::invalid_argument);
+
+  config.classes = {{"a", 0.0, &service, 60.0, 1.5}};
+  EXPECT_THROW(SimulateMultiClassQueue(config), std::invalid_argument);
+
+  config.classes = {{"a", 1.0, &service, 60.0, 0.0}};
+  EXPECT_THROW(SimulateMultiClassQueue(config), std::invalid_argument);
+}
+
+TEST(MultiClassTest, DeterministicGivenSeed) {
+  const ExponentialDistribution service(1.0 / 30.0);
+  const auto config = TwoClassConfig(service, service);
+  const auto a = SimulateMultiClassQueue(config);
+  const auto b = SimulateMultiClassQueue(config);
+  EXPECT_DOUBLE_EQ(a.mean_response_time, b.mean_response_time);
+}
+
+}  // namespace
+}  // namespace msprint

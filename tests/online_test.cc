@@ -1,0 +1,258 @@
+// Tests for online condition estimation (Section 5's open challenge):
+// sliding-window rate/service estimators, the Page-Hinkley drift detector
+// and the policy advisor loop.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/distribution.h"
+#include "src/online/advisor.h"
+#include "src/online/estimator.h"
+
+namespace msprint {
+namespace {
+
+TEST(RateEstimatorTest, ConvergesToTrueRate) {
+  SlidingWindowRateEstimator estimator(100.0);
+  Rng rng(3);
+  // Exponential interarrivals with mean 2 s -> rate 0.5 arrivals/s.
+  const ExponentialDistribution interarrival(0.5);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += interarrival.Sample(rng);
+    estimator.OnArrival(t);
+  }
+  EXPECT_NEAR(estimator.RatePerSecond(t), 0.5, 0.1);
+}
+
+TEST(RateEstimatorTest, WindowForgetsOldArrivals) {
+  SlidingWindowRateEstimator estimator(10.0);
+  for (double t : {1.0, 2.0, 3.0}) {
+    estimator.OnArrival(t);
+  }
+  EXPECT_EQ(estimator.EventsInWindow(3.0), 3u);
+  EXPECT_EQ(estimator.EventsInWindow(12.5), 1u);  // only t=3 remains
+  EXPECT_EQ(estimator.EventsInWindow(100.0), 0u);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(100.0), 0.0);
+}
+
+TEST(RateEstimatorTest, TracksRateChange) {
+  SlidingWindowRateEstimator estimator(50.0);
+  double t = 0.0;
+  // Phase 1: one arrival per 10 s.
+  for (int i = 0; i < 20; ++i) {
+    t += 10.0;
+    estimator.OnArrival(t);
+  }
+  const double slow_rate = estimator.RatePerSecond(t);
+  // Phase 2: one arrival per second.
+  for (int i = 0; i < 100; ++i) {
+    t += 1.0;
+    estimator.OnArrival(t);
+  }
+  const double fast_rate = estimator.RatePerSecond(t);
+  EXPECT_NEAR(slow_rate, 0.1, 0.03);
+  EXPECT_NEAR(fast_rate, 1.0, 0.1);
+}
+
+TEST(RateEstimatorTest, RejectsTimeTravel) {
+  SlidingWindowRateEstimator estimator(10.0);
+  estimator.OnArrival(5.0);
+  EXPECT_THROW(estimator.OnArrival(4.0), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowRateEstimator(0.0), std::invalid_argument);
+}
+
+TEST(ServiceEstimatorTest, WindowedMeanAndCov) {
+  ServiceTimeEstimator estimator(4);
+  for (double s : {10.0, 10.0, 10.0, 10.0}) {
+    estimator.OnCompletion(s);
+  }
+  EXPECT_DOUBLE_EQ(estimator.MeanSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.1);
+  EXPECT_DOUBLE_EQ(estimator.CoefficientOfVariation(), 0.0);
+  // Push the window: four 20s samples evict all the 10s ones.
+  for (int i = 0; i < 4; ++i) {
+    estimator.OnCompletion(20.0);
+  }
+  EXPECT_DOUBLE_EQ(estimator.MeanSeconds(), 20.0);
+  EXPECT_EQ(estimator.count(), 4u);
+}
+
+TEST(ServiceEstimatorTest, EmptyIsZero) {
+  ServiceTimeEstimator estimator(8);
+  EXPECT_DOUBLE_EQ(estimator.MeanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.0);
+  EXPECT_THROW(ServiceTimeEstimator(0), std::invalid_argument);
+}
+
+TEST(DriftDetectorTest, NoFalseAlarmOnStationaryStream) {
+  DriftDetector detector(0.05, 5.0);
+  Rng rng(7);
+  int alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (detector.Observe(0.5 + 0.05 * rng.NextGaussian())) {
+      ++alarms;
+    }
+  }
+  EXPECT_LE(alarms, 1);
+}
+
+TEST(DriftDetectorTest, DetectsUpwardShift) {
+  DriftDetector detector(0.02, 2.0);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_FALSE(detector.Observe(0.5 + 0.02 * rng.NextGaussian()))
+        << "false alarm at " << i;
+  }
+  bool detected = false;
+  for (int i = 0; i < 200 && !detected; ++i) {
+    detected = detector.Observe(0.8 + 0.02 * rng.NextGaussian());
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(DriftDetectorTest, DetectsDownwardShift) {
+  DriftDetector detector(0.02, 2.0);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    detector.Observe(0.8 + 0.02 * rng.NextGaussian());
+  }
+  bool detected = false;
+  for (int i = 0; i < 200 && !detected; ++i) {
+    detected = detector.Observe(0.45 + 0.02 * rng.NextGaussian());
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(DriftDetectorTest, ResetsAfterSignal) {
+  DriftDetector detector(0.0, 0.5);
+  for (int i = 0; i < 50; ++i) {
+    detector.Observe(0.0);
+  }
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) {
+    fired = detector.Observe(1.0);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(detector.observations(), 0u);  // fresh after reset
+}
+
+// --------------------------------------------------------------- advisor
+
+// A deterministic model whose best timeout shifts with utilization, so
+// the test can verify the advisor re-plans sensibly.
+class UtilizationSensitiveModel final : public PerformanceModel {
+ public:
+  std::string name() const override { return "UtilSensitive"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput& input) const override {
+    // Optimal timeout = 200 * (1 - utilization): busier queues want
+    // earlier sprints.
+    const double best = 200.0 * (1.0 - input.utilization);
+    const double d = input.timeout_seconds - best;
+    return 50.0 + 0.01 * d * d;
+  }
+};
+
+WorkloadProfile AdvisorProfile() {
+  WorkloadProfile profile;
+  profile.service_rate_per_second = 0.1;  // one query per 10 s
+  profile.marginal_rate_per_second = 0.15;
+  profile.service_time_samples.assign(100, 10.0);
+  return profile;
+}
+
+AdvisorConfig FastAdvisorConfig() {
+  AdvisorConfig config;
+  config.rate_window_seconds = 400.0;
+  config.explore.max_iterations = 120;
+  config.explore.seed = 5;
+  return config;
+}
+
+TEST(AdvisorTest, NoRecommendationWithoutSignal) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, FastAdvisorConfig());
+  EXPECT_FALSE(advisor.Recommend(0.0).has_value());
+}
+
+TEST(AdvisorTest, RecommendsAfterArrivals) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, FastAdvisorConfig());
+  // One arrival per 20 s against a 10 s service -> utilization 0.5.
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+  }
+  const auto recommendation = advisor.Recommend(t);
+  ASSERT_TRUE(recommendation.has_value());
+  EXPECT_NEAR(advisor.EstimatedUtilization(t), 0.5, 0.05);
+  // Best timeout for util 0.5 is ~100 s.
+  EXPECT_NEAR(recommendation->timeout_seconds, 100.0, 20.0);
+}
+
+TEST(AdvisorTest, ReplansWhenLoadShifts) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, FastAdvisorConfig());
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 20.0;  // util 0.5
+    advisor.OnArrival(t);
+  }
+  const auto first = advisor.Recommend(t);
+  ASSERT_TRUE(first.has_value());
+
+  for (int i = 0; i < 400; ++i) {
+    t += 11.1;  // util ~0.9
+    advisor.OnArrival(t);
+  }
+  const auto second = advisor.Recommend(t);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->revision, first->revision);
+  // Busier -> earlier sprints.
+  EXPECT_LT(second->timeout_seconds, first->timeout_seconds);
+}
+
+TEST(AdvisorTest, StableLoadDoesNotThrash) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, FastAdvisorConfig());
+  double t = 0.0;
+  size_t revisions = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 50; ++i) {
+      t += 20.0;
+      advisor.OnArrival(t);
+    }
+    const auto recommendation = advisor.Recommend(t);
+    if (recommendation.has_value()) {
+      revisions = recommendation->revision;
+    }
+  }
+  // One initial plan; stationary load must not trigger constant replans.
+  EXPECT_LE(revisions, 3u);
+}
+
+TEST(AdvisorTest, UsesLiveServiceEstimates) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, FastAdvisorConfig());
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+    // Completions report 20 s services: half the profiled rate.
+    advisor.OnCompletion(t, 20.0);
+  }
+  // lambda = 0.05/s against a live mu of 0.05/s -> utilization ~1.0,
+  // double what the stale profiled mu of 0.1/s would suggest.
+  EXPECT_GT(advisor.EstimatedUtilization(t), 0.9);
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,181 @@
+// Unit tests for the workload catalog and query mixes: Table 1(C) numbers,
+// phase-profile invariants, mix sampling and interference arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/workload/workload.h"
+
+namespace msprint {
+namespace {
+
+TEST(CatalogTest, HasAllSevenWorkloads) {
+  EXPECT_EQ(AllWorkloads().size(), 7u);
+  EXPECT_EQ(WorkloadCatalog::Get().all().size(), 7u);
+}
+
+TEST(CatalogTest, Table1CThroughputs) {
+  const auto& catalog = WorkloadCatalog::Get();
+  // Sustained / burst qph on DVFS, verbatim from Table 1(C).
+  const std::map<WorkloadId, std::pair<double, double>> expected = {
+      {WorkloadId::kSparkStream, {87, 224}}, {WorkloadId::kSparkKmeans, {73, 144}},
+      {WorkloadId::kJacobi, {51, 74}},       {WorkloadId::kKnn, {40, 71}},
+      {WorkloadId::kBfs, {28, 41}},          {WorkloadId::kMem, {28, 37}},
+      {WorkloadId::kLeuk, {25, 29}},
+  };
+  for (const auto& [id, rates] : expected) {
+    const auto& spec = catalog.spec(id);
+    EXPECT_DOUBLE_EQ(spec.sustained_qph_dvfs, rates.first) << spec.name;
+    EXPECT_DOUBLE_EQ(spec.burst_qph_dvfs, rates.second) << spec.name;
+  }
+}
+
+class WorkloadSpecTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(WorkloadSpecTest, PhaseWorkFractionsSumToOne) {
+  const auto& spec = WorkloadCatalog::Get().spec(GetParam());
+  double total = 0.0;
+  for (const auto& phase : spec.phases) {
+    EXPECT_GT(phase.work_fraction, 0.0);
+    EXPECT_GE(phase.sprint_efficiency, 0.0);
+    EXPECT_GT(phase.parallel_fraction, 0.0);
+    EXPECT_LE(phase.parallel_fraction, 1.0);
+    total += phase.work_fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9) << spec.name;
+}
+
+TEST_P(WorkloadSpecTest, BurstExceedsSustained) {
+  const auto& spec = WorkloadCatalog::Get().spec(GetParam());
+  EXPECT_GT(spec.burst_qph_dvfs, spec.sustained_qph_dvfs);
+  EXPECT_GT(spec.MarginalSpeedupDvfs(), 1.0);
+  EXPECT_LT(spec.MarginalSpeedupDvfs(), 3.0);
+}
+
+TEST_P(WorkloadSpecTest, BoundFractionsAreFractions) {
+  const auto& spec = WorkloadCatalog::Get().spec(GetParam());
+  EXPECT_GE(spec.memory_bound_fraction, 0.0);
+  EXPECT_LE(spec.memory_bound_fraction, 1.0);
+  EXPECT_GE(spec.sync_bound_fraction, 0.0);
+  EXPECT_LE(spec.sync_bound_fraction, 1.0);
+  EXPECT_GT(spec.service_cov, 0.0);
+}
+
+TEST_P(WorkloadSpecTest, ServiceTimeConsistentWithRate) {
+  const auto& spec = WorkloadCatalog::Get().spec(GetParam());
+  EXPECT_NEAR(MeanServiceSecondsToQph(spec.MeanServiceSeconds()),
+              spec.sustained_qph_dvfs, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSpecTest,
+                         ::testing::ValuesIn(AllWorkloads()),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(CatalogTest, IntroKmeansSpeedupNear97Percent) {
+  // Section 1: "DVFS sprinting can speed up Spark K-means queries by 97%".
+  const auto& spec = WorkloadCatalog::Get().spec(WorkloadId::kSparkKmeans);
+  EXPECT_NEAR(spec.MarginalSpeedupDvfs(), 1.97, 0.02);
+}
+
+TEST(ConversionTest, QphRoundTrips) {
+  EXPECT_DOUBLE_EQ(QphToMeanServiceSeconds(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(QphToMeanServiceSeconds(51.0), 3600.0 / 51.0);
+  EXPECT_DOUBLE_EQ(MeanServiceSecondsToQph(QphToMeanServiceSeconds(87.0)),
+                   87.0);
+}
+
+// ----------------------------------------------------------------- mixes
+
+TEST(QueryMixTest, SingleMixSamplesOnlyItsWorkload) {
+  const QueryMix mix = QueryMix::Single(WorkloadId::kLeuk);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.SampleWorkload(rng), WorkloadId::kLeuk);
+  }
+  EXPECT_TRUE(mix.IsSingle());
+}
+
+TEST(QueryMixTest, UniformMixSamplesEvenly) {
+  const QueryMix mix =
+      QueryMix::Uniform({WorkloadId::kJacobi, WorkloadId::kMem});
+  Rng rng(2);
+  int jacobi = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.SampleWorkload(rng) == WorkloadId::kJacobi) {
+      ++jacobi;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(jacobi) / n, 0.5, 0.02);
+}
+
+TEST(QueryMixTest, WeightedMixFollowsWeights) {
+  const QueryMix mix({{WorkloadId::kJacobi, 3.0}, {WorkloadId::kMem, 1.0}},
+                     1.0);
+  Rng rng(3);
+  int jacobi = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.SampleWorkload(rng) == WorkloadId::kJacobi) {
+      ++jacobi;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(jacobi) / n, 0.75, 0.02);
+}
+
+TEST(QueryMixTest, MixOneMatchesPaperMeasuredRate) {
+  // Section 3.4: the profiler measured 35 qph for Mix I.
+  EXPECT_NEAR(MakeMixOne().SustainedRateQph(), 35.0, 0.5);
+}
+
+TEST(QueryMixTest, MixTwoMatchesPaperMeasuredRate) {
+  // Section 3.4: 30 qph for Mix II.
+  EXPECT_NEAR(MakeMixTwo().SustainedRateQph(), 30.0, 0.5);
+}
+
+TEST(QueryMixTest, InterferenceInflatesMemberServiceTime) {
+  const QueryMix solo = QueryMix::Single(WorkloadId::kJacobi);
+  const QueryMix mix = MakeMixOne();
+  EXPECT_GT(mix.MemberMeanServiceSeconds(WorkloadId::kJacobi),
+            solo.MemberMeanServiceSeconds(WorkloadId::kJacobi));
+}
+
+TEST(QueryMixTest, NoInterferenceMatchesCatalogRate) {
+  const QueryMix solo = QueryMix::Single(WorkloadId::kKnn);
+  EXPECT_NEAR(solo.SustainedRateQph(), 40.0, 1e-9);
+  EXPECT_NEAR(solo.MemberMeanServiceSeconds(WorkloadId::kKnn), 3600.0 / 40.0,
+              1e-9);
+}
+
+TEST(QueryMixTest, InvalidMixesThrow) {
+  EXPECT_THROW(QueryMix({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(QueryMix({{WorkloadId::kJacobi, 0.0}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(QueryMix({{WorkloadId::kJacobi, 1.0}}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(QueryMix({{WorkloadId::kJacobi, 1.0}}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(QueryMixTest, DescribeMentionsMembers) {
+  const std::string text = MakeMixOne().Describe();
+  EXPECT_NE(text.find("Jacobi"), std::string::npos);
+  EXPECT_NE(text.find("SparkStream"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- query
+
+TEST(QueryTest, DerivedTimes) {
+  Query q;
+  q.arrival = 10.0;
+  q.start = 15.0;
+  q.depart = 40.0;
+  EXPECT_DOUBLE_EQ(q.QueueingDelay(), 5.0);
+  EXPECT_DOUBLE_EQ(q.ProcessingTime(), 25.0);
+  EXPECT_DOUBLE_EQ(q.ResponseTime(), 30.0);
+}
+
+}  // namespace
+}  // namespace msprint

@@ -1,0 +1,320 @@
+// msprint command-line tool: drive the pipeline without writing C++.
+//
+//   msprint catalog
+//       List workloads (Table 1C) and sprinting mechanisms (Table 1B).
+//
+//   msprint profile --workload Jacobi --mechanism DVFS --out jacobi.prof
+//       Profile a workload on a platform and save the profile (including
+//       observed response times) for later use. Options: --grid N,
+//       --queries N, --threads N, --seed N, --throttle F, --sprint-cpu F.
+//
+//   msprint calibrate --profile jacobi.prof --out jacobi.cal.prof
+//       Fill in effective sprint rates (Equation 2) for every row.
+//
+//   msprint predict --profile jacobi.cal.prof --utilization 0.75 \
+//       --timeout 90 --budget 0.3 --refill 400 [--model hybrid|noml|analytic]
+//       [--percentile 0.99] [--arrival exponential|pareto]
+//       Predict mean (or tail) response time for a policy.
+//
+//   msprint explore --profile jacobi.cal.prof --utilization 0.75 \
+//       --budget 0.3 --refill 400 [--iterations 200]
+//       Simulated-annealing search for the best timeout.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "src/core/analytic_model.h"
+#include "src/core/effective_rate.h"
+#include "src/explore/explorer.h"
+#include "src/profiler/profile_io.h"
+
+namespace msprint {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got: " + arg);
+      }
+      arg = arg.substr(2);
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for --" + arg);
+      }
+      values_[arg] = argv[++i];
+    }
+  }
+
+  std::string GetString(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required flag --" + name);
+    }
+    return it->second;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& name) const {
+    return std::stod(GetString(name));
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  size_t GetSize(const std::string& name, size_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : static_cast<size_t>(std::stoul(it->second));
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int CmdCatalog() {
+  std::cout << "Workloads (Table 1C):\n";
+  for (WorkloadId id : AllWorkloads()) {
+    const auto& spec = WorkloadCatalog::Get().spec(id);
+    std::cout << "  " << spec.name << " — " << spec.description << " ("
+              << spec.sustained_qph_dvfs << " / " << spec.burst_qph_dvfs
+              << " qph on DVFS)\n";
+  }
+  std::cout << "\nMechanisms (Table 1B):\n";
+  for (MechanismId id : {MechanismId::kDvfs, MechanismId::kCoreScale,
+                         MechanismId::kEc2Dvfs, MechanismId::kCpuThrottle}) {
+    std::cout << "  " << MakeMechanism(id)->Describe() << "\n";
+  }
+  return 0;
+}
+
+int CmdProfile(const Flags& flags) {
+  SprintPolicy platform;
+  platform.mechanism = ParseMechanismId(flags.GetString("mechanism", "DVFS"));
+  platform.throttle_fraction = flags.GetDouble("throttle", 0.2);
+  platform.sprint_cpu_fraction = flags.GetDouble("sprint-cpu", 1.0);
+
+  QueryMix mix = QueryMix::Single(ParseWorkloadId(
+      flags.GetString("workload")));
+  if (flags.Has("mix-with")) {
+    // Two-workload mix with a default interference factor.
+    mix = QueryMix::Uniform(
+        {ParseWorkloadId(flags.GetString("workload")),
+         ParseWorkloadId(flags.GetString("mix-with"))},
+        flags.GetDouble("interference", 0.8));
+  }
+
+  ProfilerConfig config;
+  config.sample_grid_points = flags.GetSize("grid", 280);
+  config.queries_per_run = flags.GetSize("queries", 8000);
+  config.warmup_queries = config.queries_per_run / 10;
+  config.seed = flags.GetSize("seed", 42);
+  config.pool_size = flags.GetSize("threads", 4);
+
+  std::cout << "profiling " << mix.Describe() << " on "
+            << ToString(platform.mechanism) << "...\n";
+  const WorkloadProfile profile = ProfileWorkload(mix, platform, config);
+  std::cout << "  mu = "
+            << profile.service_rate_per_second * kSecondsPerHour
+            << " qph, mu_m = "
+            << profile.marginal_rate_per_second * kSecondsPerHour
+            << " qph, rows = " << profile.rows.size()
+            << ", virtual profiling hours = "
+            << profile.total_profiling_hours << "\n";
+  SaveProfileToFile(profile, flags.GetString("out"));
+  std::cout << "saved to " << flags.GetString("out") << "\n";
+  return 0;
+}
+
+int CmdCalibrate(const Flags& flags) {
+  WorkloadProfile profile =
+      LoadProfileFromFile(flags.GetString("profile"));
+  CalibrationConfig config;
+  std::cout << "calibrating " << profile.rows.size() << " rows...\n";
+  CalibrateProfile(profile, config, flags.GetSize("threads", 4));
+  SaveProfileToFile(profile, flags.GetString("out"));
+  std::cout << "saved to " << flags.GetString("out") << "\n";
+  return 0;
+}
+
+ModelInput InputFromFlags(const Flags& flags) {
+  ModelInput input;
+  input.utilization = flags.GetDouble("utilization");
+  input.timeout_seconds = flags.GetDouble("timeout", 60.0);
+  input.budget_fraction = flags.GetDouble("budget");
+  input.refill_seconds = flags.GetDouble("refill", 200.0);
+  input.arrival_kind =
+      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+  return input;
+}
+
+int CmdPredict(const Flags& flags) {
+  const WorkloadProfile profile =
+      LoadProfileFromFile(flags.GetString("profile"));
+  const ModelInput input = InputFromFlags(flags);
+  const std::string which = flags.GetString("model", "hybrid");
+
+  std::unique_ptr<PerformanceModel> model;
+  std::unique_ptr<HybridModel> hybrid;  // owns percentile-capable model
+  if (which == "hybrid") {
+    hybrid = std::make_unique<HybridModel>(HybridModel::Train({&profile}));
+  } else if (which == "noml") {
+    model = std::make_unique<NoMlModel>();
+  } else if (which == "analytic") {
+    model = std::make_unique<AnalyticModel>();
+  } else {
+    throw std::runtime_error("unknown --model: " + which);
+  }
+
+  if (flags.Has("percentile")) {
+    const double q = flags.GetDouble("percentile");
+    double value;
+    if (hybrid != nullptr) {
+      value = hybrid->PredictResponseTimePercentile(profile, input, q);
+    } else if (which == "noml") {
+      value = NoMlModel().PredictResponseTimePercentile(profile, input, q);
+    } else {
+      throw std::runtime_error("--percentile supports hybrid/noml only");
+    }
+    std::cout << "p" << q * 100 << " response time: " << value << " s\n";
+    return 0;
+  }
+  const double rt = hybrid != nullptr
+                        ? hybrid->PredictResponseTime(profile, input)
+                        : model->PredictResponseTime(profile, input);
+  std::cout << "expected mean response time (" << which << "): " << rt
+            << " s\n";
+  return 0;
+}
+
+// Replays a recorded arrival trace through the timeout-aware simulator at
+// the hybrid model's effective sprint rate — "what would response time
+// have been" for a past workload under a hypothetical policy.
+int CmdReplay(const Flags& flags) {
+  const WorkloadProfile profile =
+      LoadProfileFromFile(flags.GetString("profile"));
+  const std::vector<double> trace =
+      LoadArrivalTraceFromFile(flags.GetString("trace"));
+
+  // Estimate the trace's utilization for the model input.
+  const double span = trace.back() - trace.front();
+  const double arrival_rate =
+      span > 0.0 ? static_cast<double>(trace.size() - 1) / span : 0.0;
+  ModelInput input;
+  input.utilization = std::clamp(
+      arrival_rate / profile.service_rate_per_second, 0.05, 0.98);
+  input.timeout_seconds = flags.GetDouble("timeout", 60.0);
+  input.budget_fraction = flags.GetDouble("budget");
+  input.refill_seconds = flags.GetDouble("refill", 200.0);
+
+  const HybridModel model = HybridModel::Train({&profile});
+  const double mu_e_qph = model.PredictEffectiveRateQph(profile, input);
+  const double speedup = std::max(
+      1.0, mu_e_qph / (profile.service_rate_per_second * kSecondsPerHour));
+
+  const EmpiricalDistribution service(profile.service_time_samples);
+  SimConfig sim = BuildSimConfig(profile, input, service, speedup,
+                                 trace.size(), 0, 97);
+  sim.arrival_trace = &trace;
+  const SimResult result = SimulateQueue(sim);
+  std::cout << "replayed " << trace.size() << " recorded arrivals ("
+            << arrival_rate * kSecondsPerHour << " qph, estimated "
+            << input.utilization * 100 << "% utilization)\n"
+            << "  effective sprint rate: " << mu_e_qph << " qph (speedup "
+            << speedup << "X)\n"
+            << "  mean response time:   " << result.mean_response_time
+            << " s\n"
+            << "  p99 response time:    "
+            << result.PercentileResponseTime(0.99) << " s\n"
+            << "  sprinted fraction:    "
+            << result.fraction_sprinted * 100 << "%\n";
+  return 0;
+}
+
+int CmdExplore(const Flags& flags) {
+  const WorkloadProfile profile =
+      LoadProfileFromFile(flags.GetString("profile"));
+  ModelInput base;
+  base.utilization = flags.GetDouble("utilization");
+  base.budget_fraction = flags.GetDouble("budget");
+  base.refill_seconds = flags.GetDouble("refill", 200.0);
+  base.arrival_kind =
+      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+
+  const HybridModel model = HybridModel::Train({&profile});
+  ExploreConfig config;
+  config.max_iterations = flags.GetSize("iterations", 200);
+  const ExploreResult result = ExploreTimeout(model, profile, base, config);
+  std::cout << "best timeout: " << result.best_timeout_seconds
+            << " s (expected mean response time "
+            << result.best_response_time << " s; explored "
+            << result.trajectory.size() << " policies)\n";
+  return 0;
+}
+
+int Usage() {
+  std::cout <<
+      "usage: msprint <command> [--flags]\n"
+      "commands:\n"
+      "  catalog                       list workloads and mechanisms\n"
+      "  profile   --workload W --out F [--mechanism M --grid N ...]\n"
+      "  calibrate --profile F --out F [--threads N]\n"
+      "  predict   --profile F --utilization U --budget B [--timeout T\n"
+      "            --refill R --model hybrid|noml|analytic --percentile Q]\n"
+      "  explore   --profile F --utilization U --budget B [--refill R\n"
+      "            --iterations N]\n"
+      "  replay    --profile F --trace F --budget B [--timeout T\n"
+      "            --refill R]   (what-if on a recorded arrival trace)\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace msprint
+
+int main(int argc, char** argv) {
+  using namespace msprint;
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  try {
+    const Flags flags(argc, argv, 2);
+    if (command == "catalog") {
+      return CmdCatalog();
+    }
+    if (command == "profile") {
+      return CmdProfile(flags);
+    }
+    if (command == "calibrate") {
+      return CmdCalibrate(flags);
+    }
+    if (command == "predict") {
+      return CmdPredict(flags);
+    }
+    if (command == "explore") {
+      return CmdExplore(flags);
+    }
+    if (command == "replay") {
+      return CmdReplay(flags);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    return Usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
