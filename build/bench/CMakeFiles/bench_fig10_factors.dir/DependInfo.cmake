@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_factors.cc" "bench/CMakeFiles/bench_fig10_factors.dir/bench_fig10_factors.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_factors.dir/bench_fig10_factors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/msprint_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/msprint_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/msprint_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/msprint_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msprint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/msprint_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/msprint_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msprint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msprint_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/msprint_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_factors.dir/bench_fig10_factors.cc.o"
+  "CMakeFiles/bench_fig10_factors.dir/bench_fig10_factors.cc.o.d"
+  "bench_fig10_factors"
+  "bench_fig10_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_policy_explore.dir/bench_fig12_policy_explore.cc.o"
+  "CMakeFiles/bench_fig12_policy_explore.dir/bench_fig12_policy_explore.cc.o.d"
+  "bench_fig12_policy_explore"
+  "bench_fig12_policy_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_policy_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_revenue.dir/bench_fig13_revenue.cc.o"
+  "CMakeFiles/bench_fig13_revenue.dir/bench_fig13_revenue.cc.o.d"
+  "bench_fig13_revenue"
+  "bench_fig13_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

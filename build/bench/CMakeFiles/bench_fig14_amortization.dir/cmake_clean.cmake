@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_amortization.dir/bench_fig14_amortization.cc.o"
+  "CMakeFiles/bench_fig14_amortization.dir/bench_fig14_amortization.cc.o.d"
+  "bench_fig14_amortization"
+  "bench_fig14_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

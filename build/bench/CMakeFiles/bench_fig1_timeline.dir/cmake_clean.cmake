@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_timeline.dir/bench_fig1_timeline.cc.o"
+  "CMakeFiles/bench_fig1_timeline.dir/bench_fig1_timeline.cc.o.d"
+  "bench_fig1_timeline"
+  "bench_fig1_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_workload_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mix_cdf.dir/bench_fig9_mix_cdf.cc.o"
+  "CMakeFiles/bench_fig9_mix_cdf.dir/bench_fig9_mix_cdf.cc.o.d"
+  "bench_fig9_mix_cdf"
+  "bench_fig9_mix_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mix_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmk_validation.dir/bench_mmk_validation.cc.o"
+  "CMakeFiles/bench_mmk_validation.dir/bench_mmk_validation.cc.o.d"
+  "bench_mmk_validation"
+  "bench_mmk_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmk_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

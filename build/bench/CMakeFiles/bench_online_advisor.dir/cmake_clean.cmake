@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_advisor.dir/bench_online_advisor.cc.o"
+  "CMakeFiles/bench_online_advisor.dir/bench_online_advisor.cc.o.d"
+  "bench_online_advisor"
+  "bench_online_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_catalog.dir/bench_table1_catalog.cc.o"
+  "CMakeFiles/bench_table1_catalog.dir/bench_table1_catalog.cc.o.d"
+  "bench_table1_catalog"
+  "bench_table1_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

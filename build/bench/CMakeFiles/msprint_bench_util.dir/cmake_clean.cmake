@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/msprint_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/msprint_bench_util.dir/cloud_study.cc.o"
+  "CMakeFiles/msprint_bench_util.dir/cloud_study.cc.o.d"
+  "libmsprint_bench_util.a"
+  "libmsprint_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

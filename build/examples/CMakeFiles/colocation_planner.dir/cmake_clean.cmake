@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_planner.dir/colocation_planner.cpp.o"
+  "CMakeFiles/colocation_planner.dir/colocation_planner.cpp.o.d"
+  "colocation_planner"
+  "colocation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

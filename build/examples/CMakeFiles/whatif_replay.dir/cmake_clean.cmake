@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_replay.dir/whatif_replay.cpp.o"
+  "CMakeFiles/whatif_replay.dir/whatif_replay.cpp.o.d"
+  "whatif_replay"
+  "whatif_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_cloud.dir/burstable.cc.o"
+  "CMakeFiles/msprint_cloud.dir/burstable.cc.o.d"
+  "libmsprint_cloud.a"
+  "libmsprint_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_common.dir/distribution.cc.o"
+  "CMakeFiles/msprint_common.dir/distribution.cc.o.d"
+  "CMakeFiles/msprint_common.dir/rng.cc.o"
+  "CMakeFiles/msprint_common.dir/rng.cc.o.d"
+  "CMakeFiles/msprint_common.dir/stats.cc.o"
+  "CMakeFiles/msprint_common.dir/stats.cc.o.d"
+  "CMakeFiles/msprint_common.dir/table.cc.o"
+  "CMakeFiles/msprint_common.dir/table.cc.o.d"
+  "CMakeFiles/msprint_common.dir/thread_pool.cc.o"
+  "CMakeFiles/msprint_common.dir/thread_pool.cc.o.d"
+  "libmsprint_common.a"
+  "libmsprint_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic_model.cc" "src/core/CMakeFiles/msprint_core.dir/analytic_model.cc.o" "gcc" "src/core/CMakeFiles/msprint_core.dir/analytic_model.cc.o.d"
+  "/root/repo/src/core/effective_rate.cc" "src/core/CMakeFiles/msprint_core.dir/effective_rate.cc.o" "gcc" "src/core/CMakeFiles/msprint_core.dir/effective_rate.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/msprint_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/msprint_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/model_input.cc" "src/core/CMakeFiles/msprint_core.dir/model_input.cc.o" "gcc" "src/core/CMakeFiles/msprint_core.dir/model_input.cc.o.d"
+  "/root/repo/src/core/models.cc" "src/core/CMakeFiles/msprint_core.dir/models.cc.o" "gcc" "src/core/CMakeFiles/msprint_core.dir/models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/msprint_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msprint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msprint_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/msprint_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/msprint_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_core.dir/analytic_model.cc.o"
+  "CMakeFiles/msprint_core.dir/analytic_model.cc.o.d"
+  "CMakeFiles/msprint_core.dir/effective_rate.cc.o"
+  "CMakeFiles/msprint_core.dir/effective_rate.cc.o.d"
+  "CMakeFiles/msprint_core.dir/evaluation.cc.o"
+  "CMakeFiles/msprint_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/msprint_core.dir/model_input.cc.o"
+  "CMakeFiles/msprint_core.dir/model_input.cc.o.d"
+  "CMakeFiles/msprint_core.dir/models.cc.o"
+  "CMakeFiles/msprint_core.dir/models.cc.o.d"
+  "libmsprint_core.a"
+  "libmsprint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_explore.dir/explorer.cc.o"
+  "CMakeFiles/msprint_explore.dir/explorer.cc.o.d"
+  "libmsprint_explore.a"
+  "libmsprint_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_ml.dir/dataset.cc.o"
+  "CMakeFiles/msprint_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/msprint_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/msprint_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/msprint_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/msprint_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/msprint_ml.dir/neural_net.cc.o"
+  "CMakeFiles/msprint_ml.dir/neural_net.cc.o.d"
+  "CMakeFiles/msprint_ml.dir/random_forest.cc.o"
+  "CMakeFiles/msprint_ml.dir/random_forest.cc.o.d"
+  "libmsprint_ml.a"
+  "libmsprint_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsprint_ml.a"
+)

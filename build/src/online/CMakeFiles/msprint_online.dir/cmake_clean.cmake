@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_online.dir/advisor.cc.o"
+  "CMakeFiles/msprint_online.dir/advisor.cc.o.d"
+  "CMakeFiles/msprint_online.dir/estimator.cc.o"
+  "CMakeFiles/msprint_online.dir/estimator.cc.o.d"
+  "libmsprint_online.a"
+  "libmsprint_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

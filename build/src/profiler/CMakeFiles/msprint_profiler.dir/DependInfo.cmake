@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/profile_io.cc" "src/profiler/CMakeFiles/msprint_profiler.dir/profile_io.cc.o" "gcc" "src/profiler/CMakeFiles/msprint_profiler.dir/profile_io.cc.o.d"
+  "/root/repo/src/profiler/profiler.cc" "src/profiler/CMakeFiles/msprint_profiler.dir/profiler.cc.o" "gcc" "src/profiler/CMakeFiles/msprint_profiler.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/msprint_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/msprint_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

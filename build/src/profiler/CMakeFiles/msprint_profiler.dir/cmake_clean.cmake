@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_profiler.dir/profile_io.cc.o"
+  "CMakeFiles/msprint_profiler.dir/profile_io.cc.o.d"
+  "CMakeFiles/msprint_profiler.dir/profiler.cc.o"
+  "CMakeFiles/msprint_profiler.dir/profiler.cc.o.d"
+  "libmsprint_profiler.a"
+  "libmsprint_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

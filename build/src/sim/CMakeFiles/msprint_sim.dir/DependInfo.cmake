@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/multiclass_simulator.cc" "src/sim/CMakeFiles/msprint_sim.dir/multiclass_simulator.cc.o" "gcc" "src/sim/CMakeFiles/msprint_sim.dir/multiclass_simulator.cc.o.d"
+  "/root/repo/src/sim/queue_simulator.cc" "src/sim/CMakeFiles/msprint_sim.dir/queue_simulator.cc.o" "gcc" "src/sim/CMakeFiles/msprint_sim.dir/queue_simulator.cc.o.d"
+  "/root/repo/src/sim/tick_simulator.cc" "src/sim/CMakeFiles/msprint_sim.dir/tick_simulator.cc.o" "gcc" "src/sim/CMakeFiles/msprint_sim.dir/tick_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/msprint_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_sim.dir/multiclass_simulator.cc.o"
+  "CMakeFiles/msprint_sim.dir/multiclass_simulator.cc.o.d"
+  "CMakeFiles/msprint_sim.dir/queue_simulator.cc.o"
+  "CMakeFiles/msprint_sim.dir/queue_simulator.cc.o.d"
+  "CMakeFiles/msprint_sim.dir/tick_simulator.cc.o"
+  "CMakeFiles/msprint_sim.dir/tick_simulator.cc.o.d"
+  "libmsprint_sim.a"
+  "libmsprint_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sprint/budget.cc" "src/sprint/CMakeFiles/msprint_sprint.dir/budget.cc.o" "gcc" "src/sprint/CMakeFiles/msprint_sprint.dir/budget.cc.o.d"
+  "/root/repo/src/sprint/mechanism.cc" "src/sprint/CMakeFiles/msprint_sprint.dir/mechanism.cc.o" "gcc" "src/sprint/CMakeFiles/msprint_sprint.dir/mechanism.cc.o.d"
+  "/root/repo/src/sprint/policy.cc" "src/sprint/CMakeFiles/msprint_sprint.dir/policy.cc.o" "gcc" "src/sprint/CMakeFiles/msprint_sprint.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_sprint.dir/budget.cc.o"
+  "CMakeFiles/msprint_sprint.dir/budget.cc.o.d"
+  "CMakeFiles/msprint_sprint.dir/mechanism.cc.o"
+  "CMakeFiles/msprint_sprint.dir/mechanism.cc.o.d"
+  "CMakeFiles/msprint_sprint.dir/policy.cc.o"
+  "CMakeFiles/msprint_sprint.dir/policy.cc.o.d"
+  "libmsprint_sprint.a"
+  "libmsprint_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

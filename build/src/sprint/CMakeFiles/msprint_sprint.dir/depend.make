@@ -1,0 +1,2 @@
+# Empty dependencies file for msprint_sprint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/testbed.cc" "src/testbed/CMakeFiles/msprint_testbed.dir/testbed.cc.o" "gcc" "src/testbed/CMakeFiles/msprint_testbed.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sprint/CMakeFiles/msprint_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msprint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msprint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

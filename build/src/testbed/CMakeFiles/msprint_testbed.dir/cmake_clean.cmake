@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_testbed.dir/testbed.cc.o"
+  "CMakeFiles/msprint_testbed.dir/testbed.cc.o.d"
+  "libmsprint_testbed.a"
+  "libmsprint_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

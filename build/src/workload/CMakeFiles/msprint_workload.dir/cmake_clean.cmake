@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint_workload.dir/workload.cc.o"
+  "CMakeFiles/msprint_workload.dir/workload.cc.o.d"
+  "libmsprint_workload.a"
+  "libmsprint_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

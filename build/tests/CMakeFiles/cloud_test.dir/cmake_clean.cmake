@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_test.dir/cloud_test.cc.o"
+  "CMakeFiles/cloud_test.dir/cloud_test.cc.o.d"
+  "cloud_test"
+  "cloud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_test.dir/explore_test.cc.o"
+  "CMakeFiles/explore_test.dir/explore_test.cc.o.d"
+  "explore_test"
+  "explore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_test.dir/multiclass_test.cc.o"
+  "CMakeFiles/multiclass_test.dir/multiclass_test.cc.o.d"
+  "multiclass_test"
+  "multiclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_io_test.dir/profile_io_test.cc.o"
+  "CMakeFiles/profile_io_test.dir/profile_io_test.cc.o.d"
+  "profile_io_test"
+  "profile_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

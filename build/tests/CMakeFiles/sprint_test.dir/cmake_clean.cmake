@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprint_test.dir/sprint_test.cc.o"
+  "CMakeFiles/sprint_test.dir/sprint_test.cc.o.d"
+  "sprint_test"
+  "sprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

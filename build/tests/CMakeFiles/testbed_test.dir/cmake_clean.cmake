@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_test.dir/testbed_test.cc.o"
+  "CMakeFiles/testbed_test.dir/testbed_test.cc.o.d"
+  "testbed_test"
+  "testbed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

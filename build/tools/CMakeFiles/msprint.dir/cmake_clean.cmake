@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msprint.dir/msprint.cc.o"
+  "CMakeFiles/msprint.dir/msprint.cc.o.d"
+  "msprint"
+  "msprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
