@@ -10,6 +10,18 @@
 
 #include "bench/cloud_study.h"
 
+namespace {
+
+// Builds "$<num>" without operator+(const char*, std::string&&), which
+// GCC 12 flags with a spurious -Wrestrict at -O2.
+std::string Dollars(double value, int decimals) {
+  std::string text = msprint::TextTable::Num(value, decimals);
+  text.insert(0, 1, '$');
+  return text;
+}
+
+}  // namespace
+
 int main() {
   using namespace msprint;
   using namespace msprint::bench;
@@ -45,7 +57,7 @@ int main() {
       table.AddRow({label, ToString(approach),
                     std::to_string(plan.admitted_count) + "/" +
                         std::to_string(combo.size()),
-                    "$" + TextTable::Num(plan.revenue_per_hour, 3),
+                    Dollars(plan.revenue_per_hour, 3),
                     TextTable::Num(vs_aws, 2) + "X",
                     TextTable::Pct(plan.total_cpu_commitment, 0)});
       std::cout << "  " << label << " / " << ToString(approach) << ": hosted "

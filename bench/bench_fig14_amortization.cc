@@ -10,6 +10,18 @@
 
 #include "bench/cloud_study.h"
 
+namespace {
+
+// Builds "$<num>" without operator+(const char*, std::string&&), which
+// GCC 12 flags with a spurious -Wrestrict at -O2.
+std::string Dollars(double value, int decimals) {
+  std::string text = msprint::TextTable::Num(value, decimals);
+  text.insert(0, 1, '$');
+  return text;
+}
+
+}  // namespace
+
 int main() {
   using namespace msprint;
   using namespace msprint::bench;
@@ -55,9 +67,9 @@ int main() {
                          kMeanInstanceLifetimeHours, 1.0);
   for (size_t i = 0; i < hybrid_series.size(); i += 50) {
     table.AddRow({TextTable::Num(hybrid_series[i].hours, 0),
-                  "$" + TextTable::Num(hybrid_series[i].aws_revenue, 2),
-                  "$" + TextTable::Num(hybrid_series[i].model_revenue, 2),
-                  "$" + TextTable::Num(ann_series[i].model_revenue, 2)});
+                  Dollars(hybrid_series[i].aws_revenue, 2),
+                  Dollars(hybrid_series[i].model_revenue, 2),
+                  Dollars(ann_series[i].model_revenue, 2)});
   }
   table.Print(std::cout);
 

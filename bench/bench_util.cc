@@ -6,10 +6,6 @@
 namespace msprint {
 namespace bench {
 
-size_t PoolSize() {
-  return std::max<size_t>(2, std::thread::hardware_concurrency() * 2);
-}
-
 SprintPolicy DvfsPlatform() {
   SprintPolicy policy;
   policy.mechanism = MechanismId::kDvfs;
@@ -35,11 +31,11 @@ PreparedWorkload Prepare(const std::string& label, const QueryMix& mix,
   profiler.warmup_queries = options.queries_per_run / 10;
   profiler.replications_per_point = options.replications;
   profiler.seed = options.seed;
-  profiler.pool_size = PoolSize();
+  profiler.pool_size = 0;  // grid points fan out on the shared pool
   prepared.profile = ProfileWorkload(mix, platform, profiler);
 
   CalibrationConfig calibration;
-  CalibrateProfile(prepared.profile, calibration, PoolSize());
+  CalibrateProfile(prepared.profile, calibration);
 
   Rng rng(DeriveSeed(options.seed, 0x5917));
   ProfileSplit split =

@@ -17,9 +17,6 @@
 namespace msprint {
 namespace bench {
 
-// Threads used by profiling/calibration pools. The harness machine is
-// small; keep the queue saturated without oversubscribing wildly.
-size_t PoolSize();
 
 struct PipelineOptions {
   size_t grid_points = 280;

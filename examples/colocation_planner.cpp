@@ -40,7 +40,7 @@ TenantModel BuildTenantModel(WorkloadId id) {
       ProfileWorkload(QueryMix::Single(id), platform, profiler);
   CalibrationConfig calibration;
   calibration.sim_queries = 8000;
-  CalibrateProfile(tenant.profile, calibration, 4);
+  CalibrateProfile(tenant.profile, calibration);
   tenant.model =
       std::make_unique<HybridModel>(HybridModel::Train({&tenant.profile}));
   return tenant;

@@ -46,11 +46,10 @@ int main() {
   ProfilerConfig profiler;
   profiler.sample_grid_points = 200;
   profiler.queries_per_run = 5000;
-  profiler.pool_size = 4;
   WorkloadProfile profile = ProfileWorkload(
       QueryMix::Single(WorkloadId::kJacobi), platform, profiler);
   CalibrationConfig calibration;
-  CalibrateProfile(profile, calibration, 4);
+  CalibrateProfile(profile, calibration);
   const HybridModel model = HybridModel::Train({&profile});
 
   ModelInput base;

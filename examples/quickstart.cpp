@@ -42,7 +42,7 @@ int main() {
   std::cout << "calibrating effective sprint rates...\n";
   CalibrationConfig calibration;
   calibration.sim_queries = 8000;
-  CalibrateProfile(profile, calibration, /*pool_size=*/4);
+  CalibrateProfile(profile, calibration);  // rows fan out on the shared pool
 
   // 3. Train the hybrid model on the calibrated rows.
   const HybridModel model = HybridModel::Train({&profile});

@@ -33,7 +33,7 @@ int main() {
                       profiler);
   CalibrationConfig calibration;
   calibration.sim_queries = 8000;
-  CalibrateProfile(profile, calibration, 4);
+  CalibrateProfile(profile, calibration);
   const HybridModel model = HybridModel::Train({&profile});
 
   ModelInput spike;
@@ -63,7 +63,7 @@ int main() {
   WorkloadProfile cs_profile =
       ProfileWorkload(QueryMix::Single(WorkloadId::kKnn), core_scale,
                       profiler);
-  CalibrateProfile(cs_profile, calibration, 4);
+  CalibrateProfile(cs_profile, calibration);
   const HybridModel cs_model = HybridModel::Train({&cs_profile});
   const double rt_cs = cs_model.PredictResponseTime(cs_profile, spike);
   std::cout << "on the core-scaling platform the same spike would see ~"

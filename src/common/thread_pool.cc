@@ -1,8 +1,39 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
 
 namespace msprint {
+
+namespace {
+
+// Set while a thread executes tasks for some pool; lets ParallelFor detect
+// calls nested inside its own workers and run them inline instead of
+// blocking a worker on work only that worker could drain.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+std::atomic<size_t> global_size_override{0};
+std::atomic<bool> global_pool_created{false};
+
+size_t GlobalPoolSize() {
+  const size_t requested = global_size_override.load();
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("MSPRINT_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 4 : hardware;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -33,18 +64,115 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&fn, i] { fn(i); });
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
+  if (n == 0) {
+    return;
   }
-  Wait();
+  if (size() <= 1 || n == 1 || current_worker_pool == this) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  if (grain == 0) {
+    // A handful of chunks per participant keeps the tail balanced without
+    // paying queue traffic per index.
+    grain = std::max<size_t>(1, n / (4 * (size() + 1)));
+  }
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  struct SharedState {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable helpers_done;
+    std::exception_ptr error;  // guarded by mutex
+    size_t helpers_active = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  // &fn stays valid: this frame does not return before every helper task
+  // holding the reference has finished (helpers_done below).
+  auto run_chunks = [state, &fn, n, grain, num_chunks] {
+    while (!state->failed.load(std::memory_order_relaxed)) {
+      const size_t chunk =
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) {
+        return;
+      }
+      const size_t begin = chunk * grain;
+      const size_t end = std::min(n, begin + grain);
+      try {
+        for (size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const size_t num_helpers = std::min(size(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->helpers_active = num_helpers;
+  }
+  for (size_t h = 0; h < num_helpers; ++h) {
+    Submit([state, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->helpers_active == 0) {
+        state->helpers_done.notify_all();
+      }
+    });
+  }
+  run_chunks();  // the calling thread works too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->helpers_done.wait(lock,
+                             [&] { return state->helpers_active == 0; });
+    error = std::exchange(state->error, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  global_pool_created.store(true);
+  static ThreadPool pool(GlobalPoolSize());
+  return pool;
+}
+
+bool ThreadPool::SetGlobalSize(size_t num_threads) {
+  if (global_pool_created.load()) {
+    return false;
+  }
+  global_size_override.store(num_threads);
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -57,7 +185,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

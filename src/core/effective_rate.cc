@@ -98,20 +98,12 @@ double CalibrateEffectiveSpeedup(const WorkloadProfile& profile,
 }
 
 size_t CalibrateProfile(WorkloadProfile& profile,
-                        const CalibrationConfig& config, size_t pool_size) {
+                        const CalibrationConfig& config, ThreadPool* pool) {
   const EmpiricalDistribution service(profile.service_time_samples);
-  auto calibrate_row = [&](size_t i) {
+  ResolvePool(pool).ParallelFor(profile.rows.size(), [&](size_t i) {
     profile.rows[i].effective_speedup =
         CalibrateEffectiveSpeedup(profile, profile.rows[i], service, config);
-  };
-  if (pool_size > 1) {
-    ThreadPool pool(pool_size);
-    pool.ParallelFor(profile.rows.size(), calibrate_row);
-  } else {
-    for (size_t i = 0; i < profile.rows.size(); ++i) {
-      calibrate_row(i);
-    }
-  }
+  });
   return profile.rows.size();
 }
 

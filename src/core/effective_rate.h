@@ -11,6 +11,7 @@
 #ifndef MSPRINT_SRC_CORE_EFFECTIVE_RATE_H_
 #define MSPRINT_SRC_CORE_EFFECTIVE_RATE_H_
 
+#include "src/common/thread_pool.h"
 #include "src/core/model_input.h"
 #include "src/sim/queue_simulator.h"
 
@@ -55,11 +56,13 @@ double CalibrateEffectiveSpeedup(const WorkloadProfile& profile,
                                  const Distribution& service,
                                  const CalibrationConfig& config);
 
-// Runs calibration for every row of `profile` in place (optionally across
-// `pool_size` threads). Returns the number of rows calibrated.
+// Runs calibration for every row of `profile` in place, fanning rows out
+// across `pool` (nullptr: the shared global pool). Rows are independent,
+// so the calibrated profile is identical for any pool size. Returns the
+// number of rows calibrated.
 size_t CalibrateProfile(WorkloadProfile& profile,
                         const CalibrationConfig& config,
-                        size_t pool_size = 1);
+                        ThreadPool* pool = nullptr);
 
 }  // namespace msprint
 

@@ -39,6 +39,16 @@ double SimulatePercentile(const WorkloadProfile& profile,
 
 }  // namespace
 
+std::vector<double> PerformanceModel::PredictResponseTimeBatch(
+    const WorkloadProfile& profile, const std::vector<ModelInput>& inputs,
+    ThreadPool* pool) const {
+  std::vector<double> out(inputs.size(), 0.0);
+  ResolvePool(pool).ParallelFor(inputs.size(), [&](size_t i) {
+    out[i] = PredictResponseTime(profile, inputs[i]);
+  });
+  return out;
+}
+
 Dataset BuildTrainingDataset(
     const std::vector<const WorkloadProfile*>& profiles,
     bool target_effective_rate) {
@@ -78,14 +88,15 @@ double NoMlModel::PredictResponseTimePercentile(
 
 HybridModel HybridModel::Train(
     const std::vector<const WorkloadProfile*>& profiles,
-    RandomForestConfig forest_config, PredictionSimConfig sim) {
+    RandomForestConfig forest_config, PredictionSimConfig sim,
+    ThreadPool* pool) {
   const Dataset data =
       BuildTrainingDataset(profiles, /*target_effective_rate=*/true);
   if (data.NumRows() == 0) {
     throw std::invalid_argument("no calibrated rows to train on");
   }
   forest_config.anchor_feature = MarginalRateFeatureIndex();
-  return HybridModel(RandomForest::Fit(data, forest_config), sim);
+  return HybridModel(RandomForest::Fit(data, forest_config, pool), sim);
 }
 
 double HybridModel::PredictEffectiveRateQph(const WorkloadProfile& profile,

@@ -44,9 +44,18 @@ class PerformanceModel {
   virtual std::string name() const = 0;
 
   // Expected mean response time for `input` on the workload that `profile`
-  // characterizes.
+  // characterizes. Implementations must be safe to call concurrently on a
+  // const model — batched prediction and the multi-chain explorer rely on
+  // that.
   virtual double PredictResponseTime(const WorkloadProfile& profile,
                                      const ModelInput& input) const = 0;
+
+  // Predicts every input in one call, fanning out across `pool` (nullptr:
+  // the shared global pool). Inputs are independent, so the batch equals
+  // calling PredictResponseTime in a loop for any pool size.
+  std::vector<double> PredictResponseTimeBatch(
+      const WorkloadProfile& profile, const std::vector<ModelInput>& inputs,
+      ThreadPool* pool = nullptr) const;
 };
 
 // ----------------------------------------------------------------- No-ML
@@ -74,10 +83,12 @@ class NoMlModel final : public PerformanceModel {
 class HybridModel final : public PerformanceModel {
  public:
   // Trains the forest on the calibrated rows of `profiles` (each row's
-  // effective_speedup must already be set by CalibrateProfile).
+  // effective_speedup must already be set by CalibrateProfile). Trees grow
+  // concurrently on `pool` (nullptr: the shared global pool).
   static HybridModel Train(
       const std::vector<const WorkloadProfile*>& profiles,
-      RandomForestConfig forest_config = {}, PredictionSimConfig sim = {});
+      RandomForestConfig forest_config = {}, PredictionSimConfig sim = {},
+      ThreadPool* pool = nullptr);
 
   std::string name() const override { return "Hybrid"; }
   double PredictResponseTime(const WorkloadProfile& profile,

@@ -6,11 +6,15 @@
 
 namespace msprint {
 
-ExploreResult ExploreTimeout(const PerformanceModel& model,
-                             const WorkloadProfile& profile,
-                             const ModelInput& base,
-                             const ExploreConfig& config) {
-  Rng rng(config.seed);
+namespace {
+
+// One annealing chain: the original serial algorithm, parameterized on its
+// own seed and iteration budget.
+ExploreResult RunChain(const PerformanceModel& model,
+                       const WorkloadProfile& profile,
+                       const ModelInput& base, const ExploreConfig& config,
+                       uint64_t seed, size_t max_iterations) {
+  Rng rng(seed);
   auto predict = [&](double timeout) {
     ModelInput input = base;
     input.timeout_seconds = timeout;
@@ -32,7 +36,7 @@ ExploreResult ExploreTimeout(const PerformanceModel& model,
   result.trajectory.push_back({current_timeout, current_rt, true});
 
   double z = config.initial_z;
-  for (size_t iter = 1; iter < config.max_iterations; ++iter) {
+  for (size_t iter = 1; iter < max_iterations; ++iter) {
     // Step 2: neighboring timeout t_n from [t_o - range, t_o + range].
     const double neighbor = std::clamp(
         current_timeout +
@@ -65,11 +69,52 @@ ExploreResult ExploreTimeout(const PerformanceModel& model,
   return result;
 }
 
+}  // namespace
+
+ExploreResult ExploreTimeout(const PerformanceModel& model,
+                             const WorkloadProfile& profile,
+                             const ModelInput& base,
+                             const ExploreConfig& config, ThreadPool* pool) {
+  const size_t chains = std::max<size_t>(1, config.num_chains);
+  if (chains == 1) {
+    return RunChain(model, profile, base, config, config.seed,
+                    config.max_iterations);
+  }
+  // Chains split the evaluation budget, so wall-clock shrinks with cores
+  // while the number of model queries stays put.
+  const size_t per_chain = std::max<size_t>(1, config.max_iterations / chains);
+  std::vector<ExploreResult> results(chains);
+  ResolvePool(pool).ParallelFor(
+      chains,
+      [&](size_t c) {
+        const uint64_t seed =
+            c == 0 ? config.seed : DeriveSeed(config.seed, c);
+        results[c] = RunChain(model, profile, base, config, seed, per_chain);
+      },
+      /*grain=*/1);
+
+  size_t best = 0;
+  for (size_t c = 1; c < chains; ++c) {
+    if (results[c].best_response_time < results[best].best_response_time) {
+      best = c;
+    }
+  }
+  ExploreResult merged;
+  merged.best_timeout_seconds = results[best].best_timeout_seconds;
+  merged.best_response_time = results[best].best_response_time;
+  for (const auto& chain : results) {
+    merged.trajectory.insert(merged.trajectory.end(),
+                             chain.trajectory.begin(),
+                             chain.trajectory.end());
+  }
+  return merged;
+}
+
 BudgetSearchResult FindCheapestPolicyMeetingSlo(
     const PerformanceModel& model, const WorkloadProfile& profile,
     const ModelInput& base, const std::vector<double>& budget_fractions,
     double slo_response_time, bool optimize_timeout,
-    const ExploreConfig& explore_config) {
+    const ExploreConfig& explore_config, ThreadPool* pool) {
   std::vector<double> fractions = budget_fractions;
   std::sort(fractions.begin(), fractions.end());
 
@@ -81,7 +126,7 @@ BudgetSearchResult FindCheapestPolicyMeetingSlo(
     double rt;
     if (optimize_timeout) {
       const ExploreResult explored =
-          ExploreTimeout(model, profile, input, explore_config);
+          ExploreTimeout(model, profile, input, explore_config, pool);
       timeout = explored.best_timeout_seconds;
       rt = explored.best_response_time;
     } else {

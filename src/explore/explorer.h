@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/evaluation.h"
 #include "src/core/models.h"
 
@@ -29,6 +30,12 @@ struct ExploreConfig {
   double z_decay = 0.9;
   size_t z_decay_period = 100;
   uint64_t seed = 1234;
+  // Independent annealing chains sharing the max_iterations budget: each
+  // chain runs max_iterations / num_chains steps with its own RNG stream
+  // and the best chain wins (ties broken by chain index, so the merge is
+  // deterministic). Chain 0 uses `seed` directly, which makes num_chains=1
+  // bit-identical to the original single-chain annealer.
+  size_t num_chains = 1;
 };
 
 struct ExploreStep {
@@ -44,11 +51,15 @@ struct ExploreResult {
 };
 
 // MINRT (Equation 4): finds the timeout minimizing the model's expected
-// response time, holding the rest of `base` fixed.
+// response time, holding the rest of `base` fixed. Chains run concurrently
+// on `pool` (nullptr: the shared global pool); the result is identical for
+// any pool size. The returned trajectory concatenates the chains' steps in
+// chain order.
 ExploreResult ExploreTimeout(const PerformanceModel& model,
                              const WorkloadProfile& profile,
                              const ModelInput& base,
-                             const ExploreConfig& config);
+                             const ExploreConfig& config,
+                             ThreadPool* pool = nullptr);
 
 // Joint budget+timeout search used by "model-driven budgeting/sprinting"
 // (Section 4.4): for each candidate budget fraction, optionally optimizes
@@ -64,7 +75,7 @@ BudgetSearchResult FindCheapestPolicyMeetingSlo(
     const PerformanceModel& model, const WorkloadProfile& profile,
     const ModelInput& base, const std::vector<double>& budget_fractions,
     double slo_response_time, bool optimize_timeout,
-    const ExploreConfig& explore_config);
+    const ExploreConfig& explore_config, ThreadPool* pool = nullptr);
 
 // ------------------------------------------------------- Baseline policies
 

@@ -7,14 +7,11 @@
 namespace msprint {
 
 RandomForest RandomForest::Fit(const Dataset& data,
-                               const RandomForestConfig& config) {
+                               const RandomForestConfig& config,
+                               ThreadPool* pool) {
   if (data.NumRows() == 0 || config.num_trees == 0) {
     throw std::invalid_argument("invalid forest inputs");
   }
-  Rng rng(config.seed);
-  RandomForest forest;
-  forest.trees_.reserve(config.num_trees);
-
   const size_t n = data.NumRows();
   const size_t f = data.NumFeatures();
   const size_t rows_per_tree = std::max<size_t>(
@@ -23,7 +20,12 @@ RandomForest RandomForest::Fit(const Dataset& data,
       1, static_cast<size_t>(config.feature_fraction *
                              static_cast<double>(f)));
 
-  for (size_t t = 0; t < config.num_trees; ++t) {
+  // Tree t draws its bootstrap and feature subset from an independent
+  // DeriveSeed(config.seed, t) stream and writes only slot t, so the
+  // result does not depend on how trees are scheduled across the pool.
+  std::vector<std::optional<DecisionTree>> trees(config.num_trees);
+  auto fit_tree = [&](size_t t) {
+    Rng rng(DeriveSeed(config.seed, t));
     // Bootstrap rows (with replacement).
     std::vector<size_t> rows(rows_per_tree);
     for (auto& r : rows) {
@@ -48,8 +50,14 @@ RandomForest RandomForest::Fit(const Dataset& data,
     tree_config.max_depth = config.max_depth;
     tree_config.anchor_feature = config.anchor_feature;
     tree_config.allowed_features = std::move(features);
-    forest.trees_.push_back(DecisionTree::Fit(data.Subset(rows),
-                                              tree_config));
+    trees[t].emplace(DecisionTree::Fit(data.Subset(rows), tree_config));
+  };
+  ResolvePool(pool).ParallelFor(config.num_trees, fit_tree, /*grain=*/1);
+
+  RandomForest forest;
+  forest.trees_.reserve(config.num_trees);
+  for (auto& tree : trees) {
+    forest.trees_.push_back(std::move(*tree));
   }
   return forest;
 }
@@ -60,6 +68,14 @@ double RandomForest::Predict(const std::vector<double>& features) const {
     acc += tree.Predict(features);
   }
   return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictBatch(
+    const std::vector<std::vector<double>>& rows, ThreadPool* pool) const {
+  std::vector<double> out(rows.size(), 0.0);
+  ResolvePool(pool).ParallelFor(
+      rows.size(), [&](size_t i) { out[i] = Predict(rows[i]); });
+  return out;
 }
 
 std::vector<double> RandomForest::PredictPerTree(

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/ml/decision_tree.h"
 
 namespace msprint {
@@ -27,10 +28,22 @@ struct RandomForestConfig {
 
 class RandomForest {
  public:
+  // Trains the forest, growing trees concurrently on `pool` (nullptr: the
+  // shared global pool). Tree t draws every random choice from its own
+  // DeriveSeed(config.seed, t) stream, so the fitted forest is
+  // bit-identical for any pool size, including serial.
   static RandomForest Fit(const Dataset& data,
-                          const RandomForestConfig& config);
+                          const RandomForestConfig& config,
+                          ThreadPool* pool = nullptr);
 
   double Predict(const std::vector<double>& features) const;
+
+  // Batched prediction: one output per feature row, computed across `pool`
+  // (nullptr: the shared global pool). Identical to calling Predict in a
+  // loop.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& rows,
+      ThreadPool* pool = nullptr) const;
 
   // Per-tree predictions (the "votes"), for inspection and tests.
   std::vector<double> PredictPerTree(const std::vector<double>& features)

@@ -61,8 +61,11 @@ std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
   // Clamp into the trained domain; the model cannot extrapolate past a
   // saturated queue (Section 5).
   input.utilization = std::clamp(utilization, 0.05, 0.95);
+  // Chains (when configured) fan out over the shared global pool rather
+  // than a pool constructed per re-plan.
   const ExploreResult explored =
-      ExploreTimeout(model_, profile_, input, config_.explore);
+      ExploreTimeout(model_, profile_, input, config_.explore,
+                     &ThreadPool::Global());
   ++replan_count_;
   Recommendation recommendation;
   recommendation.timeout_seconds = explored.best_timeout_seconds;
@@ -71,6 +74,17 @@ std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
   recommendation.revision = replan_count_;
   current_ = recommendation;
   return current_;
+}
+
+std::vector<double> OnlineAdvisor::PredictTimeouts(
+    double now, const std::vector<double>& timeouts) const {
+  ModelInput input = config_.base;
+  input.utilization = std::clamp(EstimatedUtilization(now), 0.05, 0.95);
+  std::vector<ModelInput> inputs(timeouts.size(), input);
+  for (size_t i = 0; i < timeouts.size(); ++i) {
+    inputs[i].timeout_seconds = timeouts[i];
+  }
+  return model_.PredictResponseTimeBatch(profile_, inputs);
 }
 
 }  // namespace msprint

@@ -23,7 +23,9 @@ struct AdvisorConfig {
   // Re-recommendation is also forced when utilization moves this far from
   // the last recommendation point (absolute).
   double utilization_slack = 0.08;
-  // Explorer settings for each recommendation.
+  // Explorer settings for each recommendation. Set explore.num_chains > 1
+  // to run each re-plan as parallel annealing chains on the shared global
+  // pool — the recommendation stays deterministic for any pool size.
   ExploreConfig explore;
   // Policy knobs held fixed (budget, refill, arrival kind).
   ModelInput base;
@@ -53,6 +55,12 @@ class OnlineAdvisor {
   // Returns the standing recommendation, re-planning first if conditions
   // drifted. Returns nullopt until enough observations have accumulated.
   std::optional<Recommendation> Recommend(double now);
+
+  // What-if sweep: predicted response time for each candidate timeout at
+  // the advisor's current utilization estimate, evaluated as one batch on
+  // the shared global pool.
+  std::vector<double> PredictTimeouts(
+      double now, const std::vector<double>& timeouts) const;
 
   size_t replan_count() const { return replan_count_; }
 

@@ -138,13 +138,12 @@ WorkloadProfile ProfileWorkload(const QueryMix& mix,
     profile.rows[i] = row;
   };
 
-  if (config.pool_size > 1) {
-    ThreadPool pool(config.pool_size);
-    pool.ParallelFor(grid.size(), run_point);
-  } else {
+  if (config.pool_size == 1) {
     for (size_t i = 0; i < grid.size(); ++i) {
       run_point(i);
     }
+  } else {
+    ThreadPool::Global().ParallelFor(grid.size(), run_point);
   }
 
   for (const auto& row : profile.rows) {

@@ -92,8 +92,10 @@ struct ProfilerConfig {
   size_t warmup_queries = 1000;
   size_t replications_per_point = 3;
   uint64_t seed = 42;
-  // Threads for running grid points in parallel.
-  size_t pool_size = 1;
+  // Grid points run on the shared global pool (see ThreadPool::Global)
+  // unless this is 1, which forces a serial sweep. Each point writes only
+  // its own row, so the profile is identical either way.
+  size_t pool_size = 0;
 };
 
 // Profiles `mix` on the platform selected by `platform` (the policy's

@@ -216,24 +216,16 @@ SimResult SimulateQueue(const SimConfig& config,
 }
 
 ReplicatedResult SimulateReplicated(const SimConfig& config,
-                                    size_t replications, size_t pool_size) {
+                                    size_t replications, ThreadPool* pool) {
   if (replications == 0) {
     throw std::invalid_argument("need at least one replication");
   }
   std::vector<double> means(replications, 0.0);
-  auto run_one = [&](size_t r) {
+  ResolvePool(pool).ParallelFor(replications, [&](size_t r) {
     SimConfig rep = config;
     rep.seed = DeriveSeed(config.seed, r);
     means[r] = SimulateQueue(rep).mean_response_time;
-  };
-  if (pool_size > 1 && replications > 1) {
-    ThreadPool pool(pool_size);
-    pool.ParallelFor(replications, run_one);
-  } else {
-    for (size_t r = 0; r < replications; ++r) {
-      run_one(r);
-    }
-  }
+  });
   StreamingStats stats;
   for (double m : means) {
     stats.Add(m);

@@ -98,17 +98,20 @@ SimResult SimulateQueue(const SimConfig& config,
                         std::vector<SimQuery>* trace_out = nullptr);
 
 // Runs `replications` independent replications (seeds derived from
-// config.seed) and returns the grand mean response time. When `pool_size`
-// > 1 the replications run on that many threads.
+// config.seed) on `pool` (nullptr: the shared global pool) and returns the
+// grand mean response time. Replication r always uses seed
+// DeriveSeed(config.seed, r), so the result is identical for any pool
+// size.
 struct ReplicatedResult {
   double mean_response_time = 0.0;
   double coefficient_of_variation = 0.0;  // across replications
   std::vector<double> replication_means;
 };
 
+class ThreadPool;
 ReplicatedResult SimulateReplicated(const SimConfig& config,
                                     size_t replications,
-                                    size_t pool_size = 1);
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace msprint
 

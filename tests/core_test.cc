@@ -114,7 +114,8 @@ TEST(CalibrationTest, CalibrateProfileFillsAllRows) {
   CalibrationConfig config;
   config.sim_queries = 4000;
   config.sim_warmup = 400;
-  EXPECT_EQ(CalibrateProfile(profile, config, 2), 2u);
+  ThreadPool pool(2);
+  EXPECT_EQ(CalibrateProfile(profile, config, &pool), 2u);
   for (const auto& row : profile.rows) {
     EXPECT_GT(row.effective_speedup, 0.0);
   }
@@ -156,7 +157,7 @@ TEST(ModelTest, HybridUsesForestRate) {
   CalibrationConfig calibration;
   calibration.sim_queries = 4000;
   calibration.sim_warmup = 400;
-  CalibrateProfile(profile, calibration, 2);
+  CalibrateProfile(profile, calibration);
   const HybridModel model = HybridModel::Train({&profile});
   const double mu_e =
       model.PredictEffectiveRateQph(profile, ModelInput::FromRow(

@@ -1,0 +1,277 @@
+// Determinism guarantees of the parallel execution layer: every parallel
+// stage must produce bit-identical results for any pool size (the
+// "same seed => same output" invariant the multi-chain explorer, parallel
+// forest and replicated simulator are built on), and the hardened
+// ThreadPool must propagate task exceptions and compose nested ParallelFor
+// calls without deadlocking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/explore/explorer.h"
+#include "src/ml/random_forest.h"
+#include "src/sim/queue_simulator.h"
+
+namespace msprint {
+namespace {
+
+std::vector<size_t> PoolSizesUnderTest() {
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  return {1, 2, hardware};
+}
+
+// ----------------------------------------------------------------- forest
+
+Dataset NoisyStepData(int rows, uint64_t seed) {
+  Dataset data({"x0", "anchor"});
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    const double x0 = rng.NextDouble() * 10.0;
+    const double anchor = rng.NextDouble() * 4.0;
+    const double y =
+        (x0 < 5.0 ? 10.0 : 25.0) + 2.0 * anchor + rng.NextGaussian();
+    data.Add({x0, anchor}, y);
+  }
+  return data;
+}
+
+TEST(DeterminismTest, ForestIdenticalForAnyPoolSize) {
+  const Dataset train = NoisyStepData(400, 21);
+  RandomForestConfig config;
+  config.num_trees = 16;
+  config.anchor_feature = 1;
+  config.seed = 77;
+
+  const std::vector<std::vector<double>> probes = {
+      {1.0, 0.5}, {4.9, 3.0}, {5.1, 1.0}, {9.0, 2.5}};
+
+  ThreadPool serial(1);
+  const RandomForest reference = RandomForest::Fit(train, config, &serial);
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    const RandomForest forest = RandomForest::Fit(train, config, &pool);
+    ASSERT_EQ(forest.TreeCount(), reference.TreeCount());
+    for (const auto& probe : probes) {
+      const auto expected = reference.PredictPerTree(probe);
+      const auto got = forest.PredictPerTree(probe);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t t = 0; t < got.size(); ++t) {
+        EXPECT_EQ(got[t], expected[t])
+            << "tree " << t << " diverged at pool size " << pool_size;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, PredictBatchMatchesSerialPredict) {
+  const Dataset train = NoisyStepData(300, 5);
+  RandomForestConfig config;
+  config.anchor_feature = 1;
+  const RandomForest forest = RandomForest::Fit(train, config);
+
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({0.15 * i, 0.05 * i});
+  }
+  ThreadPool pool(4);
+  const std::vector<double> batched = forest.PredictBatch(rows, &pool);
+  ASSERT_EQ(batched.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batched[i], forest.Predict(rows[i]));
+  }
+}
+
+// --------------------------------------------------------------- explorer
+
+class ConvexModel final : public PerformanceModel {
+ public:
+  explicit ConvexModel(double best_timeout) : best_(best_timeout) {}
+  std::string name() const override { return "Convex"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput& input) const override {
+    const double d = input.timeout_seconds - best_;
+    return 100.0 + 0.01 * d * d;
+  }
+
+ private:
+  double best_;
+};
+
+WorkloadProfile DummyProfile() {
+  WorkloadProfile profile;
+  profile.service_rate_per_second = 1.0 / 60.0;
+  profile.marginal_rate_per_second = 1.4 / 60.0;
+  Rng rng(5);
+  const LognormalDistribution jitter(60.0, 0.2);
+  for (int i = 0; i < 200; ++i) {
+    profile.service_time_samples.push_back(jitter.Sample(rng));
+  }
+  return profile;
+}
+
+bool SameExploreResult(const ExploreResult& a, const ExploreResult& b) {
+  if (a.best_timeout_seconds != b.best_timeout_seconds ||
+      a.best_response_time != b.best_response_time ||
+      a.trajectory.size() != b.trajectory.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    if (a.trajectory[i].timeout_seconds != b.trajectory[i].timeout_seconds ||
+        a.trajectory[i].predicted_response_time !=
+            b.trajectory[i].predicted_response_time ||
+        a.trajectory[i].accepted != b.trajectory[i].accepted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeterminismTest, MultiChainExploreIdenticalForAnyPoolSize) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 200;
+  config.num_chains = 4;
+
+  ThreadPool serial(1);
+  const ExploreResult reference =
+      ExploreTimeout(model, profile, ModelInput{}, config, &serial);
+  // 4 chains x 50 iterations.
+  EXPECT_EQ(reference.trajectory.size(), 200u);
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    const ExploreResult result =
+        ExploreTimeout(model, profile, ModelInput{}, config, &pool);
+    EXPECT_TRUE(SameExploreResult(reference, result))
+        << "explore diverged at pool size " << pool_size;
+  }
+}
+
+TEST(DeterminismTest, SingleChainUnchangedByChainMachinery) {
+  // num_chains=1 must follow the exact single-chain trajectory regardless
+  // of the pool handed in: the serial seed behaviour is the contract.
+  const ConvexModel model(90.0);
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 150;
+
+  ThreadPool serial(1);
+  const ExploreResult reference =
+      ExploreTimeout(model, profile, ModelInput{}, config, &serial);
+  ThreadPool pool(4);
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config, &pool);
+  EXPECT_TRUE(SameExploreResult(reference, result));
+}
+
+TEST(DeterminismTest, MultiChainFindsConvexMinimum) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+  ExploreConfig config;
+  config.max_iterations = 400;
+  config.num_chains = 4;
+  const ExploreResult result =
+      ExploreTimeout(model, profile, ModelInput{}, config);
+  EXPECT_NEAR(result.best_timeout_seconds, 140.0, 10.0);
+  EXPECT_NEAR(result.best_response_time, 100.0, 1.0);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(DeterminismTest, ReplicatedSimIdenticalForAnyPoolSize) {
+  const ExponentialDistribution service(1.0);
+  SimConfig config;
+  config.arrival_rate_per_second = 0.7;
+  config.service = &service;
+  config.sprint_speedup = 1.3;
+  config.timeout_seconds = 1.0;
+  config.budget_capacity_seconds = 5.0;
+  config.budget_refill_seconds = 50.0;
+  config.num_queries = 2000;
+  config.warmup_queries = 200;
+  config.seed = 11;
+
+  ThreadPool serial(1);
+  const ReplicatedResult reference = SimulateReplicated(config, 6, &serial);
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    const ReplicatedResult result = SimulateReplicated(config, 6, &pool);
+    ASSERT_EQ(result.replication_means.size(),
+              reference.replication_means.size());
+    for (size_t r = 0; r < result.replication_means.size(); ++r) {
+      EXPECT_EQ(result.replication_means[r],
+                reference.replication_means[r]);
+    }
+    EXPECT_EQ(result.mean_response_time, reference.mean_response_time);
+  }
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolHardeningTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](size_t i) {
+                         if (i == 13) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed run.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(32, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolHardeningTest, SubmitWaitPropagatesException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::logic_error);
+  // The error is consumed: a later Wait with healthy tasks succeeds.
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolHardeningTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(8, [&](size_t) {
+    // Nested call on the same pool: must run inline on the worker instead
+    // of waiting on queue slots the outer loop is occupying.
+    pool.ParallelFor(16, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 8 * 16);
+}
+
+TEST(ThreadPoolHardeningTest, ChunkedParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(
+      hits.size(), [&](size_t i) { hits[i].fetch_add(1); }, /*grain=*/7);
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolHardeningTest, GlobalPoolIsShared) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  // Once the shared pool exists, resizing requests must be refused rather
+  // than silently ignored.
+  EXPECT_FALSE(ThreadPool::SetGlobalSize(a.size() + 1));
+}
+
+}  // namespace
+}  // namespace msprint

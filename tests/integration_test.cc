@@ -32,7 +32,7 @@ class PipelineTest : public ::testing::Test {
     CalibrationConfig calibration;
     calibration.sim_queries = 8000;
     calibration.sim_warmup = 800;
-    CalibrateProfile(*profile_, calibration, 8);
+    CalibrateProfile(*profile_, calibration);
 
     Rng rng(5);
     split_ = new ProfileSplit(SplitProfileRows(*profile_, 0.8, rng));

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "src/common/thread_pool.h"
 #include "src/sim/queue_simulator.h"
 #include "src/sim/tick_simulator.h"
 
@@ -307,7 +308,8 @@ TEST(SimBookkeepingTest, DeterministicAcrossRuns) {
 TEST(SimBookkeepingTest, ReplicationsReduceVariance) {
   const ExponentialDistribution service(1.0);
   SimConfig config = NoSprintConfig(service, 0.8, 3000);
-  const ReplicatedResult replicated = SimulateReplicated(config, 8, 4);
+  ThreadPool pool(4);
+  const ReplicatedResult replicated = SimulateReplicated(config, 8, &pool);
   EXPECT_EQ(replicated.replication_means.size(), 8u);
   EXPECT_GT(replicated.coefficient_of_variation, 0.0);
   EXPECT_NEAR(replicated.mean_response_time, 1.0 / (1.0 - 0.8),

@@ -11,12 +11,12 @@
 //   msprint calibrate --profile jacobi.prof --out jacobi.cal.prof
 //       Fill in effective sprint rates (Equation 2) for every row.
 //
-//   msprint predict --profile jacobi.cal.prof --utilization 0.75 \
+//   msprint predict --profile jacobi.cal.prof --utilization 0.75
 //       --timeout 90 --budget 0.3 --refill 400 [--model hybrid|noml|analytic]
 //       [--percentile 0.99] [--arrival exponential|pareto]
 //       Predict mean (or tail) response time for a policy.
 //
-//   msprint explore --profile jacobi.cal.prof --utilization 0.75 \
+//   msprint explore --profile jacobi.cal.prof --utilization 0.75
 //       --budget 0.3 --refill 400 [--iterations 200]
 //       Simulated-annealing search for the best timeout.
 
@@ -123,7 +123,7 @@ int CmdProfile(const Flags& flags) {
   config.queries_per_run = flags.GetSize("queries", 8000);
   config.warmup_queries = config.queries_per_run / 10;
   config.seed = flags.GetSize("seed", 42);
-  config.pool_size = flags.GetSize("threads", 4);
+  config.pool_size = flags.GetSize("threads", 0);  // 0: shared pool
 
   std::cout << "profiling " << mix.Describe() << " on "
             << ToString(platform.mechanism) << "...\n";
@@ -145,7 +145,7 @@ int CmdCalibrate(const Flags& flags) {
       LoadProfileFromFile(flags.GetString("profile"));
   CalibrationConfig config;
   std::cout << "calibrating " << profile.rows.size() << " rows...\n";
-  CalibrateProfile(profile, config, flags.GetSize("threads", 4));
+  CalibrateProfile(profile, config);
   SaveProfileToFile(profile, flags.GetString("out"));
   std::cout << "saved to " << flags.GetString("out") << "\n";
   return 0;
@@ -293,6 +293,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Flags flags(argc, argv, 2);
+    // --threads sizes the shared pool every parallel stage draws from;
+    // it must be set before any stage touches ThreadPool::Global().
+    if (flags.Has("threads")) {
+      ThreadPool::SetGlobalSize(flags.GetSize("threads", 0));
+    }
     if (command == "catalog") {
       return CmdCatalog();
     }
