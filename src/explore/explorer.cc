@@ -18,7 +18,11 @@ ExploreResult RunChain(const PerformanceModel& model,
   auto predict = [&](double timeout) {
     ModelInput input = base;
     input.timeout_seconds = timeout;
-    return model.PredictResponseTime(profile, input);
+    const double rt = model.PredictResponseTime(profile, input);
+    // A NaN prediction would poison best-so-far tracking permanently (NaN
+    // comparisons are all false); treat any non-finite prediction as an
+    // infinitely bad candidate instead.
+    return std::isfinite(rt) ? rt : std::numeric_limits<double>::infinity();
   };
   auto random_timeout = [&]() {
     return config.timeout_min_seconds +

@@ -54,7 +54,9 @@ struct ExploreResult {
 // response time, holding the rest of `base` fixed. Chains run concurrently
 // on `pool` (nullptr: the shared global pool); the result is identical for
 // any pool size. The returned trajectory concatenates the chains' steps in
-// chain order.
+// chain order. Non-finite model predictions are treated as infinitely bad
+// candidates, so a partially broken model degrades the search instead of
+// derailing it.
 ExploreResult ExploreTimeout(const PerformanceModel& model,
                              const WorkloadProfile& profile,
                              const ModelInput& base,

@@ -5,13 +5,40 @@
 
 namespace msprint {
 
+namespace {
+
+AdvisorRung Demoted(AdvisorRung rung) {
+  return rung == AdvisorRung::kHybrid ? AdvisorRung::kSimulator
+                                      : AdvisorRung::kStatic;
+}
+
+AdvisorRung Promoted(AdvisorRung rung) {
+  return rung == AdvisorRung::kStatic ? AdvisorRung::kSimulator
+                                      : AdvisorRung::kHybrid;
+}
+
+}  // namespace
+
+std::string ToString(AdvisorRung rung) {
+  switch (rung) {
+    case AdvisorRung::kHybrid:
+      return "hybrid";
+    case AdvisorRung::kSimulator:
+      return "simulator";
+    case AdvisorRung::kStatic:
+      return "static";
+  }
+  return "unknown";
+}
+
 OnlineAdvisor::OnlineAdvisor(const PerformanceModel& model,
                              const WorkloadProfile& profile,
                              AdvisorConfig config)
     : model_(model),
       profile_(profile),
       config_(config),
-      rate_estimator_(config.rate_window_seconds),
+      fallback_model_(config.fallback_sim),
+      rate_estimator_(config.rate_window_seconds, TimestampPolicy::kClamp),
       service_estimator_(config.service_window_count),
       drift_(config.drift_delta, config.drift_threshold) {}
 
@@ -20,6 +47,23 @@ void OnlineAdvisor::OnArrival(double now) { rate_estimator_.OnArrival(now); }
 void OnlineAdvisor::OnCompletion(double now, double processing_seconds) {
   (void)now;
   service_estimator_.OnCompletion(processing_seconds);
+}
+
+void OnlineAdvisor::OnObservedResponseTime(double now,
+                                           double response_seconds) {
+  (void)now;
+  if (!current_.has_value() || !std::isfinite(response_seconds) ||
+      response_seconds < 0.0) {
+    return;
+  }
+  const double predicted = std::max(1e-9, current_->predicted_response_time);
+  const double error = std::abs(response_seconds - predicted) / predicted;
+  health_errors_.push_back(error);
+  health_error_sum_ += error;
+  while (health_errors_.size() > config_.health_window_count) {
+    health_error_sum_ -= health_errors_.front();
+    health_errors_.pop_front();
+  }
 }
 
 double OnlineAdvisor::EstimatedArrivalRate(double now) const {
@@ -38,6 +82,13 @@ double OnlineAdvisor::EstimatedUtilization(double now) const {
   return EstimatedArrivalRate(now) / service_rate;
 }
 
+double OnlineAdvisor::ModelHealthError() const {
+  return health_errors_.empty()
+             ? 0.0
+             : health_error_sum_ /
+                   static_cast<double>(health_errors_.size());
+}
+
 bool OnlineAdvisor::ShouldReplan(double utilization) {
   // Either the drift detector fires on the utilization stream, or we moved
   // beyond the slack band around the last planning point.
@@ -49,30 +100,123 @@ bool OnlineAdvisor::ShouldReplan(double utilization) {
                         config_.utilization_slack;
 }
 
+void OnlineAdvisor::UpdateRung() {
+  if (health_errors_.size() < config_.health_min_observations) {
+    return;
+  }
+  const double error = ModelHealthError();
+  AdvisorRung next = rung_;
+  if (error > config_.degrade_error_threshold &&
+      rung_ != AdvisorRung::kStatic) {
+    next = Demoted(rung_);
+  } else if (error < config_.recover_error_threshold &&
+             rung_ != AdvisorRung::kHybrid) {
+    // Probational promotion: the richer model gets another chance; if it
+    // still misbehaves the watchdog demotes again once the health window
+    // refills.
+    next = Promoted(rung_);
+  }
+  if (next == rung_) {
+    return;
+  }
+  rung_ = next;
+  ++rung_transition_count_;
+  health_errors_.clear();
+  health_error_sum_ = 0.0;
+  pending_replan_ = true;
+}
+
+const PerformanceModel& OnlineAdvisor::ActiveModel() const {
+  return rung_ == AdvisorRung::kHybrid
+             ? model_
+             : static_cast<const PerformanceModel&>(fallback_model_);
+}
+
+void OnlineAdvisor::Replan(double now, double utilization) {
+  ModelInput input = config_.base;
+  // Clamp into the trained domain; the model cannot extrapolate past a
+  // saturated queue (Section 5).
+  input.utilization = std::clamp(utilization, 0.05, 0.95);
+
+  Recommendation recommendation;
+  recommendation.rung = rung_;
+  recommendation.at_utilization = input.utilization;
+
+  if (rung_ == AdvisorRung::kStatic) {
+    // Conservative floor: sprinting disabled outright, so the policy can
+    // never overdraw the sprint budget no matter how wrong the models are.
+    recommendation.timeout_seconds = config_.static_timeout_seconds;
+    input.timeout_seconds = config_.static_timeout_seconds;
+    try {
+      recommendation.predicted_response_time =
+          fallback_model_.PredictResponseTime(profile_, input);
+    } catch (const std::exception&) {
+      recommendation.predicted_response_time = 0.0;
+    }
+    ++replan_count_;
+    recommendation.revision = replan_count_;
+    pending_replan_ = false;
+    current_ = recommendation;
+    return;
+  }
+
+  // kHybrid / kSimulator: anneal with the active model, retrying a model
+  // that throws before demoting a rung.
+  for (size_t attempt = 0; attempt < config_.replan_max_attempts; ++attempt) {
+    try {
+      const ExploreResult explored =
+          ExploreTimeout(ActiveModel(), profile_, input, config_.explore,
+                         config_.pool);
+      ++replan_count_;
+      pending_replan_ = false;
+      // Hysteresis: absorb a plan that barely moved instead of flapping
+      // the published recommendation.
+      if (current_.has_value() && current_->rung == rung_) {
+        const double delta =
+            std::abs(explored.best_timeout_seconds -
+                     current_->timeout_seconds);
+        if (delta <= config_.timeout_hysteresis_fraction *
+                         std::max(current_->timeout_seconds, 1.0)) {
+          current_->at_utilization = input.utilization;
+          return;
+        }
+      }
+      recommendation.timeout_seconds = explored.best_timeout_seconds;
+      recommendation.predicted_response_time = explored.best_response_time;
+      recommendation.revision = replan_count_;
+      current_ = recommendation;
+      return;
+    } catch (const std::exception&) {
+      ++replan_failure_count_;
+    }
+  }
+  // Every attempt failed: demote one rung, back off, and keep the standing
+  // recommendation until the next Recommend() after the backoff.
+  rung_ = Demoted(rung_);
+  ++rung_transition_count_;
+  health_errors_.clear();
+  health_error_sum_ = 0.0;
+  pending_replan_ = true;
+  backoff_until_ = now + config_.replan_backoff_seconds;
+}
+
 std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
   const double utilization = EstimatedUtilization(now);
   if (rate_estimator_.EventsInWindow(now) < 5) {
     return current_;  // not enough signal yet
   }
-  if (!ShouldReplan(utilization)) {
+  UpdateRung();
+  // Always feed the drift detector, even when a ladder move already forced
+  // a re-plan, so the utilization stream stays continuous.
+  const bool drift_replan = ShouldReplan(utilization);
+  if (!pending_replan_ && !drift_replan) {
     return current_;
   }
-  ModelInput input = config_.base;
-  // Clamp into the trained domain; the model cannot extrapolate past a
-  // saturated queue (Section 5).
-  input.utilization = std::clamp(utilization, 0.05, 0.95);
-  // Chains (when configured) fan out over the shared global pool rather
-  // than a pool constructed per re-plan.
-  const ExploreResult explored =
-      ExploreTimeout(model_, profile_, input, config_.explore,
-                     &ThreadPool::Global());
-  ++replan_count_;
-  Recommendation recommendation;
-  recommendation.timeout_seconds = explored.best_timeout_seconds;
-  recommendation.predicted_response_time = explored.best_response_time;
-  recommendation.at_utilization = input.utilization;
-  recommendation.revision = replan_count_;
-  current_ = recommendation;
+  if (now < backoff_until_) {
+    pending_replan_ = true;  // retry once the backoff lapses
+    return current_;
+  }
+  Replan(now, utilization);
   return current_;
 }
 
@@ -84,7 +228,8 @@ std::vector<double> OnlineAdvisor::PredictTimeouts(
   for (size_t i = 0; i < timeouts.size(); ++i) {
     inputs[i].timeout_seconds = timeouts[i];
   }
-  return model_.PredictResponseTimeBatch(profile_, inputs);
+  return ActiveModel().PredictResponseTimeBatch(profile_, inputs,
+                                                config_.pool);
 }
 
 }  // namespace msprint

@@ -3,16 +3,48 @@
 // trained hybrid model to the *estimated* (noisy) conditions, and
 // re-recommends a timeout policy whenever conditions drift from the last
 // recommendation point.
+//
+// The advisor is built to survive a hostile telemetry path (dropped,
+// duplicated and out-of-order events — see src/fault) and a model that
+// stops matching reality (breaker storms, unprofiled load). Defences:
+//   * estimators run with TimestampPolicy::kClamp, so corrupt event feeds
+//     degrade estimates instead of throwing;
+//   * a model-health watchdog tracks predicted-vs-observed response-time
+//     error over a sliding window (feed it with OnObservedResponseTime);
+//   * a graceful-degradation ladder with three rungs:
+//       kHybrid    — the trained hybrid model (normal operation),
+//       kSimulator — the first-principles queue simulator at the marginal
+//                    sprint rate (no learned component),
+//       kStatic    — a conservative sprint-disabled policy that cannot
+//                    exceed the sprint budget;
+//     the watchdog demotes a rung when windowed error exceeds
+//     degrade_error_threshold and promotes (probationally) when it falls
+//     below recover_error_threshold; each transition clears the health
+//     window, so a further move needs health_min_observations fresh
+//     samples — that bounds flapping;
+//   * re-planning retries with backoff: a model that throws is retried up
+//     to replan_max_attempts times, then the advisor demotes itself one
+//     rung and keeps the standing recommendation until the backoff lapses;
+//   * hysteresis: a fresh plan replaces the standing recommendation only
+//     when the best timeout moved materially (or the rung changed), so
+//     noisy estimates cannot make the recommendation flap.
 
 #ifndef MSPRINT_SRC_ONLINE_ADVISOR_H_
 #define MSPRINT_SRC_ONLINE_ADVISOR_H_
 
+#include <deque>
 #include <optional>
+#include <string>
 
 #include "src/explore/explorer.h"
 #include "src/online/estimator.h"
 
 namespace msprint {
+
+// Degradation-ladder rungs, best first.
+enum class AdvisorRung { kHybrid = 0, kSimulator = 1, kStatic = 2 };
+
+std::string ToString(AdvisorRung rung);
 
 struct AdvisorConfig {
   double rate_window_seconds = 600.0;
@@ -24,11 +56,40 @@ struct AdvisorConfig {
   // the last recommendation point (absolute).
   double utilization_slack = 0.08;
   // Explorer settings for each recommendation. Set explore.num_chains > 1
-  // to run each re-plan as parallel annealing chains on the shared global
-  // pool — the recommendation stays deterministic for any pool size.
+  // to run each re-plan as parallel annealing chains — the recommendation
+  // stays deterministic for any pool size.
   ExploreConfig explore;
   // Policy knobs held fixed (budget, refill, arrival kind).
   ModelInput base;
+
+  // Pool for re-planning chains and batched prediction (nullptr: the
+  // shared global pool).
+  ThreadPool* pool = nullptr;
+
+  // --- model-health watchdog / degradation ladder ---
+  // Windowed mean relative error |observed - predicted| / predicted over
+  // the last health_window_count observations; the watchdog acts only once
+  // health_min_observations have accumulated since the last transition.
+  size_t health_window_count = 32;
+  size_t health_min_observations = 8;
+  double degrade_error_threshold = 0.75;
+  double recover_error_threshold = 0.25;
+
+  // --- re-planning retry with backoff ---
+  size_t replan_max_attempts = 3;
+  double replan_backoff_seconds = 30.0;
+
+  // --- recommendation hysteresis ---
+  // A fresh plan on the same rung is absorbed (no revision bump) when its
+  // best timeout is within this fraction of the standing one.
+  double timeout_hysteresis_fraction = 0.05;
+
+  // Timeout published on the static rung: effectively "never sprint".
+  double static_timeout_seconds = 1e15;
+
+  // Simulation effort for the kSimulator/kStatic fallback predictions;
+  // smaller than offline defaults because re-plans happen on the live path.
+  PredictionSimConfig fallback_sim{4000, 400, 1, 97};
 };
 
 struct Recommendation {
@@ -36,6 +97,8 @@ struct Recommendation {
   double predicted_response_time = 0.0;
   double at_utilization = 0.0;
   size_t revision = 0;  // increments every time the advisor re-plans
+  // Ladder rung the recommendation was planned on.
+  AdvisorRung rung = AdvisorRung::kHybrid;
 };
 
 class OnlineAdvisor {
@@ -44,37 +107,63 @@ class OnlineAdvisor {
   OnlineAdvisor(const PerformanceModel& model,
                 const WorkloadProfile& profile, AdvisorConfig config);
 
-  // Event feed from the live system.
+  // Event feed from the live system. Tolerant of out-of-order, duplicated
+  // and corrupt events (clamped/ignored, never throws).
   void OnArrival(double now);
   void OnCompletion(double now, double processing_seconds);
+
+  // Feeds the model-health watchdog one end-to-end observed response time
+  // to compare against the standing recommendation's prediction.
+  void OnObservedResponseTime(double now, double response_seconds);
 
   // Current estimated conditions.
   double EstimatedArrivalRate(double now) const;
   double EstimatedUtilization(double now) const;
 
+  // Windowed mean relative prediction error seen by the watchdog (0 until
+  // observations accumulate).
+  double ModelHealthError() const;
+
   // Returns the standing recommendation, re-planning first if conditions
-  // drifted. Returns nullopt until enough observations have accumulated.
+  // drifted or the watchdog moved the ladder. Returns nullopt until enough
+  // observations have accumulated. Never throws on model failure: broken
+  // models demote the ladder instead.
   std::optional<Recommendation> Recommend(double now);
 
   // What-if sweep: predicted response time for each candidate timeout at
-  // the advisor's current utilization estimate, evaluated as one batch on
-  // the shared global pool.
+  // the advisor's current utilization estimate, evaluated as one batch.
+  // Uses the active rung's model.
   std::vector<double> PredictTimeouts(
       double now, const std::vector<double>& timeouts) const;
 
   size_t replan_count() const { return replan_count_; }
+  AdvisorRung rung() const { return rung_; }
+  size_t rung_transition_count() const { return rung_transition_count_; }
+  size_t replan_failure_count() const { return replan_failure_count_; }
 
  private:
   bool ShouldReplan(double utilization);
+  void UpdateRung();
+  const PerformanceModel& ActiveModel() const;
+  void Replan(double now, double utilization);
 
   const PerformanceModel& model_;
   const WorkloadProfile& profile_;
   AdvisorConfig config_;
+  NoMlModel fallback_model_;  // kSimulator/kStatic rungs
   SlidingWindowRateEstimator rate_estimator_;
   ServiceTimeEstimator service_estimator_;
   DriftDetector drift_;
   std::optional<Recommendation> current_;
   size_t replan_count_ = 0;
+
+  AdvisorRung rung_ = AdvisorRung::kHybrid;
+  size_t rung_transition_count_ = 0;
+  std::deque<double> health_errors_;
+  double health_error_sum_ = 0.0;
+  bool pending_replan_ = false;
+  double backoff_until_ = 0.0;
+  size_t replan_failure_count_ = 0;
 };
 
 }  // namespace msprint

@@ -6,16 +6,30 @@
 
 namespace msprint {
 
-SlidingWindowRateEstimator::SlidingWindowRateEstimator(double window_seconds)
-    : window_seconds_(window_seconds) {
+SlidingWindowRateEstimator::SlidingWindowRateEstimator(double window_seconds,
+                                                       TimestampPolicy policy)
+    : window_seconds_(window_seconds), policy_(policy) {
   if (window_seconds <= 0.0) {
     throw std::invalid_argument("window must be > 0");
   }
 }
 
 void SlidingWindowRateEstimator::OnArrival(double now) {
+  if (!std::isfinite(now)) {
+    if (policy_ == TimestampPolicy::kStrict) {
+      throw std::invalid_argument("arrival timestamp must be finite");
+    }
+    ++out_of_order_;
+    return;
+  }
   if (!arrivals_.empty() && now < arrivals_.back()) {
-    throw std::invalid_argument("arrival timestamps must be non-decreasing");
+    if (policy_ == TimestampPolicy::kStrict) {
+      throw std::invalid_argument("arrival timestamps must be non-decreasing");
+    }
+    // Late delivery: the arrival happened, just got reported out of order.
+    // Count it at the newest known time so the window stays sorted.
+    ++out_of_order_;
+    now = arrivals_.back();
   }
   arrivals_.push_back(now);
   Evict(now);
@@ -29,11 +43,17 @@ void SlidingWindowRateEstimator::Evict(double now) const {
 }
 
 double SlidingWindowRateEstimator::RatePerSecond(double now) const {
+  if (!arrivals_.empty()) {
+    now = std::max(now, arrivals_.back());
+  }
   Evict(now);
   return static_cast<double>(arrivals_.size()) / window_seconds_;
 }
 
 size_t SlidingWindowRateEstimator::EventsInWindow(double now) const {
+  if (!arrivals_.empty()) {
+    now = std::max(now, arrivals_.back());
+  }
   Evict(now);
   return arrivals_.size();
 }
@@ -46,6 +66,10 @@ ServiceTimeEstimator::ServiceTimeEstimator(size_t window_count)
 }
 
 void ServiceTimeEstimator::OnCompletion(double processing_seconds) {
+  if (!std::isfinite(processing_seconds) || processing_seconds < 0.0) {
+    ++rejected_;
+    return;
+  }
   samples_.push_back(processing_seconds);
   sum_ += processing_seconds;
   sum_sq_ += processing_seconds * processing_seconds;
@@ -94,6 +118,9 @@ void DriftDetector::Reset() {
 }
 
 bool DriftDetector::Observe(double value) {
+  if (!std::isfinite(value)) {
+    return false;
+  }
   ++count_;
   mean_ += (value - mean_) / static_cast<double>(count_);
 

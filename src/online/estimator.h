@@ -21,35 +21,58 @@
 
 namespace msprint {
 
+// How an estimator treats timestamps that violate the non-decreasing
+// contract (duplicates are always legal):
+//   kStrict — backwards or non-finite timestamps throw; the feed is
+//             trusted (e.g. a simulator driving the estimator directly).
+//   kClamp  — backwards timestamps are clamped to the newest one seen and
+//             non-finite timestamps are ignored, with both counted in
+//             out_of_order_count(). Use for telemetry that can arrive
+//             late, duplicated or reordered.
+enum class TimestampPolicy { kStrict, kClamp };
+
 // Estimates the current arrival rate (events/second) over a sliding time
 // window. O(1) amortized per observation.
 class SlidingWindowRateEstimator {
  public:
-  explicit SlidingWindowRateEstimator(double window_seconds);
+  explicit SlidingWindowRateEstimator(
+      double window_seconds, TimestampPolicy policy = TimestampPolicy::kStrict);
 
-  // Records an arrival at (non-decreasing) time `now`.
+  // Records an arrival at time `now` (see TimestampPolicy for how
+  // violations of the non-decreasing contract are handled).
   void OnArrival(double now);
 
   // Arrival rate over the trailing window as of `now`. Returns 0 before
-  // the first arrival.
+  // the first arrival. A stale `now` (older than the newest arrival) is
+  // evaluated at the newest arrival instead.
   double RatePerSecond(double now) const;
 
   size_t EventsInWindow(double now) const;
   double window_seconds() const { return window_seconds_; }
 
+  // Timestamps clamped or ignored so far (kClamp only).
+  size_t out_of_order_count() const { return out_of_order_; }
+
  private:
   void Evict(double now) const;
 
   double window_seconds_;
+  TimestampPolicy policy_;
+  size_t out_of_order_ = 0;
   mutable std::deque<double> arrivals_;
 };
 
 // Windowed (count-based) mean and variance of service-time observations.
+// Non-finite or negative samples are rejected (counted, not recorded) so a
+// corrupted telemetry event cannot poison the window.
 class ServiceTimeEstimator {
  public:
   explicit ServiceTimeEstimator(size_t window_count);
 
   void OnCompletion(double processing_seconds);
+
+  // Samples rejected as non-finite or negative.
+  size_t rejected_count() const { return rejected_; }
 
   double MeanSeconds() const;
   double RatePerSecond() const;  // 1 / mean (0 when empty)
@@ -58,6 +81,7 @@ class ServiceTimeEstimator {
 
  private:
   size_t window_count_;
+  size_t rejected_ = 0;
   std::deque<double> samples_;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
@@ -71,7 +95,9 @@ class DriftDetector {
   DriftDetector(double delta, double threshold);
 
   // Feeds one observation; returns true if drift is detected (the
-  // detector resets itself after signalling).
+  // detector resets itself after signalling). Non-finite observations are
+  // ignored — they would otherwise poison the running mean and cumulative
+  // sums permanently.
   bool Observe(double value);
 
   size_t observations() const { return count_; }

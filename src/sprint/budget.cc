@@ -1,6 +1,8 @@
 #include "src/sprint/budget.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace msprint {
@@ -15,7 +17,15 @@ SprintBudget::SprintBudget(double capacity_seconds, double refill_seconds) {
 }
 
 void SprintBudget::Advance(double now) const {
-  if (now <= last_update_) {
+  assert(!std::isnan(now));
+  if (!std::isfinite(now)) {
+    throw std::invalid_argument("budget time must be finite");
+  }
+  if (now < last_update_) {
+    ++time_regressions_;
+    return;
+  }
+  if (now == last_update_) {
     return;
   }
   level_ = std::min(capacity_, level_ + refill_rate_ * (now - last_update_));
@@ -63,6 +73,14 @@ double SprintBudget::TimeUntilAvailable(double now, double amount) const {
 }
 
 void SprintBudget::Reset(double now) {
+  assert(!std::isnan(now));
+  if (!std::isfinite(now)) {
+    throw std::invalid_argument("budget time must be finite");
+  }
+  if (now < last_update_) {
+    ++time_regressions_;
+    now = last_update_;
+  }
   level_ = capacity_;
   last_update_ = now;
   total_consumed_ = 0.0;

@@ -26,8 +26,10 @@ class SprintBudget {
     return SprintBudget(budget_fraction * refill_seconds, refill_seconds);
   }
 
-  // Credits available at `now`. `now` must be monotonically non-decreasing
-  // across calls that mutate state.
+  // Credits available at `now`. `now` is expected to be monotonically
+  // non-decreasing across calls; this is enforced — a backwards `now` is
+  // clamped to the latest time seen (and counted in time_regressions())
+  // rather than corrupting the accrual state, and non-finite times throw.
   double Available(double now) const;
 
   // Consumes up to `amount` sprint-seconds at `now`; returns how much was
@@ -54,15 +56,21 @@ class SprintBudget {
   // Total credits ever consumed (for accounting/tests).
   double total_consumed() const { return total_consumed_; }
 
+  // Calls that presented a backwards `now` and were clamped to the latest
+  // time seen.
+  size_t time_regressions() const { return time_regressions_; }
+
   void Reset(double now);
 
  private:
+  // Clamps `now` to the non-decreasing contract and accrues credits.
   void Advance(double now) const;
 
   double capacity_;
   double refill_rate_;
   mutable double level_;
   mutable double last_update_ = 0.0;
+  mutable size_t time_regressions_ = 0;
   double total_consumed_ = 0.0;
 };
 

@@ -27,7 +27,7 @@ double LoadOverheadFactor(size_t queue_length) {
                                                 kLoadOverheadCap));
 }
 
-enum class EventType { kArrival, kDeparture, kTimeout };
+enum class EventType { kArrival, kDeparture, kTimeout, kBreakerTrip };
 
 struct Event {
   double time;
@@ -113,6 +113,16 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       MakeDistribution(config.arrival_kind, 1.0 / arrival_rate);
 
   const size_t n = config.num_queries;
+
+  // Fault schedule. The window horizon is a function of the config alone
+  // (not of the sampled arrivals), so the schedule is reproducible; trips
+  // past the horizon simply never exist.
+  const double fault_horizon =
+      2.0 * static_cast<double>(n) / arrival_rate + 1000.0;
+  const FaultPlan fault_plan =
+      FaultPlan::Generate(config.faults, config.seed, fault_horizon);
+  FaultInjector injector(&fault_plan);
+
   std::vector<Query> queries(n);
   {
     double t = 0.0;
@@ -120,7 +130,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       Query& q = queries[i];
       q.id = i;
       q.workload = config.mix.SampleWorkload(rng);
-      t += interarrival->Sample(rng);
+      // Flash crowds compress interarrival gaps by the crowd intensity.
+      t += interarrival->Sample(rng) / fault_plan.ArrivalIntensityAt(t);
       q.arrival = t;
       const auto& spec = catalog.spec(q.workload);
       const double mean_service =
@@ -144,11 +155,23 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   std::vector<uint64_t> stamps(n, 0);
   // Effective sustained duration including load overhead, set at dispatch.
   std::vector<double> effective_service(n, 0.0);
+  // Sprint-abort bookkeeping: which queries are currently executing, which
+  // had their sprint aborted by a breaker trip, and how much sustained-rate
+  // work remained when the sprint engaged.
+  std::vector<char> executing(n, 0);
+  std::vector<char> sprint_aborted(n, 0);
+  std::vector<double> sustained_remaining_at_sprint(n, 0.0);
   int free_slots = config.slots;
   size_t next_arrival = 0;
+  size_t departed = 0;
   uint64_t stamp_counter = 0;
 
   events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+  if (!config.force_full_sprint && !config.disable_sprinting) {
+    for (const TimeWindow& window : fault_plan.breaker_windows()) {
+      events.push({window.begin, EventType::kBreakerTrip, 0, 0});
+    }
+  }
 
   auto schedule_departure = [&](size_t qi, double when) {
     stamps[qi] = ++stamp_counter;
@@ -156,12 +179,27 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     events.push({when, EventType::kDeparture, qi, stamps[qi]});
   };
 
+  // A sprint may engage only when no breaker lockout covers `now`, budget
+  // remains, and the toggle actually succeeds (checked last so the trace
+  // records toggle failures only for sprints that would otherwise start).
+  auto sprint_allowed = [&](size_t qi, double now) {
+    if (injector.BreakerActive(now)) {
+      return false;
+    }
+    if (budget.Available(now) <= kBudgetEpsilon) {
+      return false;
+    }
+    return !injector.SprintToggleFails(qi, now);
+  };
+
   auto dispatch = [&](size_t qi, double now, size_t queue_len_at_dispatch) {
     Query& q = queries[qi];
     const auto& spec = catalog.spec(q.workload);
     q.start = now;
-    effective_service[qi] =
-        q.service_time * LoadOverheadFactor(queue_len_at_dispatch);
+    executing[qi] = 1;
+    effective_service[qi] = q.service_time *
+                            LoadOverheadFactor(queue_len_at_dispatch) *
+                            injector.ServiceMultiplier(qi, now);
 
     if (config.force_full_sprint) {
       // Marginal-rate profiling: the mechanism is engaged before dispatch,
@@ -178,9 +216,10 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     const double timeout_at = q.arrival + timeout;
     if (timeout_at <= now) {
       q.timed_out = true;
-      if (budget.Available(now) > kBudgetEpsilon) {
+      if (sprint_allowed(qi, now)) {
         q.sprinted = true;
         q.sprint_begin = now;
+        sustained_remaining_at_sprint[qi] = effective_service[qi];
         // Sprint engages as the query starts; the toggle happens during
         // dispatch and is cheaper than a mid-flight toggle, but not free.
         const double duration =
@@ -199,13 +238,42 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
 
   auto complete = [&](size_t qi, double now) {
     Query& q = queries[qi];
-    if (q.sprinted) {
+    // Aborted sprints were already debited when the breaker tripped.
+    if (q.sprinted && !sprint_aborted[qi]) {
       q.sprint_seconds = now - q.sprint_begin;
       if (!config.force_full_sprint) {
         budget.ConsumeAllowingDebt(now, q.sprint_seconds);
       }
     }
+    executing[qi] = 0;
     ++free_slots;
+  };
+
+  // A breaker trip aborts every in-flight sprint: the mechanism powers
+  // down immediately (full mid-flight toggle latency) and the remaining
+  // work finishes at the sustained rate. Remaining work is prorated by the
+  // fraction of the sprinted stretch already elapsed.
+  auto abort_inflight_sprints = [&](double now) {
+    for (size_t qi = 0; qi < n; ++qi) {
+      Query& q = queries[qi];
+      if (!executing[qi] || !q.sprinted || sprint_aborted[qi] ||
+          q.depart <= now) {
+        continue;
+      }
+      const double elapsed = now - q.sprint_begin;
+      const double sprint_total = q.depart - q.sprint_begin;
+      const double done_fraction =
+          sprint_total > 0.0 ? std::clamp(elapsed / sprint_total, 0.0, 1.0)
+                             : 1.0;
+      const double remaining_sustained =
+          (1.0 - done_fraction) * sustained_remaining_at_sprint[qi];
+      sprint_aborted[qi] = 1;
+      q.sprint_seconds = elapsed;
+      budget.ConsumeAllowingDebt(now, elapsed);
+      schedule_departure(qi, now + mechanism->ToggleLatencySeconds() +
+                                 remaining_sustained);
+      injector.RecordSprintAbort(qi, now);
+    }
   };
 
   while (!events.empty()) {
@@ -227,6 +295,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           break;
         }
         complete(ev.query, now);
+        ++departed;
         break;
       }
       case EventType::kTimeout: {
@@ -235,17 +304,26 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           break;
         }
         q.timed_out = true;
-        if (budget.Available(now) > kBudgetEpsilon) {
+        if (sprint_allowed(ev.query, now)) {
           q.sprinted = true;
           q.sprint_begin = now;
           const auto& spec = catalog.spec(q.workload);
           const double progress = (now - q.start) / effective_service[ev.query];
+          sustained_remaining_at_sprint[ev.query] =
+              (1.0 - std::clamp(progress, 0.0, 1.0)) *
+              effective_service[ev.query];
           const double duration =
               mechanism->ToggleLatencySeconds() +
               SprintedRemainingSeconds(spec, *mechanism, progress,
                                        effective_service[ev.query]);
           schedule_departure(ev.query, now + duration);
         }
+        break;
+      }
+      case EventType::kBreakerTrip: {
+        injector.RecordBreakerTrip(now,
+                                   config.faults.breaker_cooldown_seconds);
+        abort_inflight_sprints(now);
         break;
       }
     }
@@ -255,6 +333,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       fifo.pop_front();
       --free_slots;
       dispatch(qi, std::max(now, queries[qi].arrival), fifo.size());
+    }
+
+    // Once every query departed, only breaker trips remain in the queue;
+    // trips after the run's end never fire (and never enter the trace).
+    if (departed == n) {
+      break;
     }
   }
 
@@ -289,6 +373,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       upt.count() > 0 ? upt.mean() : pt.mean();
   trace.fraction_sprinted = count > 0 ? sprinted / count : 0.0;
   trace.fraction_timed_out = count > 0 ? timed_out / count : 0.0;
+  trace.fault_trace = injector.TakeTrace();
   return trace;
 }
 

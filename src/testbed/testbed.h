@@ -26,6 +26,7 @@
 
 #include "src/common/distribution.h"
 #include "src/common/stats.h"
+#include "src/fault/fault.h"
 #include "src/sprint/budget.h"
 #include "src/sprint/policy.h"
 #include "src/workload/workload.h"
@@ -57,6 +58,11 @@ struct TestbedConfig {
   // ("timeouts trigger before the queue manager dispatches queries, i.e.,
   // the whole execution is sprinted", Section 2).
   bool force_full_sprint = false;
+
+  // Fault schedule for the run. Defaults inject nothing; every configured
+  // fault fires at a reproducible simulated time derived from the run seed
+  // (or faults.seed when set), so storms replay byte-identically.
+  FaultPlanConfig faults;
 };
 
 // Everything the profiler captures about one run (Section 2.1: "response
@@ -75,6 +81,10 @@ struct RunTrace {
   // Mean processing time over queries that never sprinted; its inverse is
   // the profiled service rate mu.
   double mean_unsprinted_processing_time = 0.0;
+
+  // Faults that fired during the run (including warmup), in simulated-time
+  // order. Empty when TestbedConfig::faults injects nothing.
+  FaultTrace fault_trace;
 
   std::vector<double> ResponseTimes() const;
   double MedianResponseTime() const;

@@ -15,8 +15,11 @@
 
 #include "src/common/thread_pool.h"
 #include "src/explore/explorer.h"
+#include "src/fault/fault.h"
 #include "src/ml/random_forest.h"
+#include "src/online/advisor.h"
 #include "src/sim/queue_simulator.h"
+#include "src/testbed/testbed.h"
 
 namespace msprint {
 namespace {
@@ -210,6 +213,86 @@ TEST(DeterminismTest, ReplicatedSimIdenticalForAnyPoolSize) {
                 reference.replication_means[r]);
     }
     EXPECT_EQ(result.mean_response_time, reference.mean_response_time);
+  }
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(DeterminismTest, FaultStormReplaysByteIdentically) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.timeout_seconds = 40.0;
+  config.utilization = 0.6;
+  config.num_queries = 1000;
+  config.warmup_queries = 100;
+  config.seed = 77;
+  config.faults.toggle_failure_probability = 0.2;
+  config.faults.breaker_trips_per_hour = 4.0;
+  config.faults.outlier_probability = 0.05;
+  config.faults.flash_crowds_per_hour = 1.0;
+
+  // The testbed is a serial discrete-event loop and the fault plan is a
+  // pure function of (config, seed), so two runs — under any
+  // MSPRINT_THREADS setting — must agree byte for byte.
+  const RunTrace a = Testbed::Run(config);
+  const RunTrace b = Testbed::Run(config);
+  ASSERT_FALSE(a.fault_trace.empty());
+  EXPECT_EQ(FormatFaultTrace(a.fault_trace), FormatFaultTrace(b.fault_trace));
+  EXPECT_EQ(a.mean_response_time, b.mean_response_time);
+  EXPECT_EQ(a.total_sprint_seconds, b.total_sprint_seconds);
+}
+
+// ----------------------------------------------------------------- advisor
+
+TEST(DeterminismTest, AdvisorRecommendationsIdenticalForAnyPoolSize) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+
+  // Drives one advisor through a load shift and a watchdog-forced ladder
+  // descent (observations 4x the prediction), collecting every published
+  // recommendation. Multi-chain re-planning runs on the given pool; the
+  // stream must be bit-identical for any pool size.
+  auto run = [&](ThreadPool* pool) {
+    AdvisorConfig config;
+    config.rate_window_seconds = 400.0;
+    config.explore.max_iterations = 160;
+    config.explore.num_chains = 4;
+    config.explore.seed = 5;
+    config.pool = pool;
+    config.fallback_sim = {600, 60, 1, 97};
+    config.health_window_count = 12;
+    config.health_min_observations = 6;
+    OnlineAdvisor advisor(model, profile, config);
+    std::vector<Recommendation> recommendations;
+    double t = 0.0;
+    for (int i = 0; i < 120; ++i) {
+      t += i < 60 ? 20.0 : 5.0;  // load shift halfway through
+      advisor.OnArrival(t);
+      const auto rec = advisor.Recommend(t);
+      if (rec.has_value()) {
+        recommendations.push_back(*rec);
+        advisor.OnObservedResponseTime(
+            t, 4.0 * rec->predicted_response_time);
+      }
+    }
+    return recommendations;
+  };
+
+  ThreadPool serial(1);
+  const std::vector<Recommendation> reference = run(&serial);
+  ASSERT_FALSE(reference.empty());
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    const std::vector<Recommendation> result = run(&pool);
+    ASSERT_EQ(result.size(), reference.size())
+        << "advisor diverged at pool size " << pool_size;
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].timeout_seconds, reference[i].timeout_seconds);
+      EXPECT_EQ(result[i].predicted_response_time,
+                reference[i].predicted_response_time);
+      EXPECT_EQ(result[i].revision, reference[i].revision);
+      EXPECT_EQ(result[i].rung, reference[i].rung);
+    }
   }
 }
 

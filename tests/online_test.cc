@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "src/common/distribution.h"
 #include "src/online/advisor.h"
@@ -63,6 +65,32 @@ TEST(RateEstimatorTest, RejectsTimeTravel) {
   EXPECT_THROW(SlidingWindowRateEstimator(0.0), std::invalid_argument);
 }
 
+TEST(RateEstimatorTest, ClampPolicyToleratesDisorderedTelemetry) {
+  SlidingWindowRateEstimator estimator(10.0, TimestampPolicy::kClamp);
+  estimator.OnArrival(5.0);
+  estimator.OnArrival(4.0);  // late delivery: clamped to 5.0, not dropped
+  estimator.OnArrival(std::numeric_limits<double>::quiet_NaN());  // ignored
+  estimator.OnArrival(6.0);
+  EXPECT_EQ(estimator.out_of_order_count(), 2u);
+  EXPECT_EQ(estimator.EventsInWindow(6.0), 3u);
+  // Duplicates stay legal under either policy.
+  estimator.OnArrival(6.0);
+  EXPECT_EQ(estimator.out_of_order_count(), 2u);
+  EXPECT_EQ(estimator.EventsInWindow(6.0), 4u);
+}
+
+TEST(RateEstimatorTest, StaleNowEvaluatedAtNewestArrival) {
+  SlidingWindowRateEstimator estimator(10.0, TimestampPolicy::kClamp);
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    estimator.OnArrival(t);
+  }
+  // A query older than the newest arrival must not see "future" events
+  // vanish or the rate spike; it reads the window as of t=5.
+  EXPECT_EQ(estimator.EventsInWindow(2.0), estimator.EventsInWindow(5.0));
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(2.0),
+                   estimator.RatePerSecond(5.0));
+}
+
 TEST(ServiceEstimatorTest, WindowedMeanAndCov) {
   ServiceTimeEstimator estimator(4);
   for (double s : {10.0, 10.0, 10.0, 10.0}) {
@@ -84,6 +112,33 @@ TEST(ServiceEstimatorTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(estimator.MeanSeconds(), 0.0);
   EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.0);
   EXPECT_THROW(ServiceTimeEstimator(0), std::invalid_argument);
+}
+
+TEST(ServiceEstimatorTest, RejectsCorruptSamples) {
+  ServiceTimeEstimator estimator(8);
+  estimator.OnCompletion(10.0);
+  estimator.OnCompletion(std::numeric_limits<double>::quiet_NaN());
+  estimator.OnCompletion(-1.0);
+  estimator.OnCompletion(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(estimator.rejected_count(), 3u);
+  EXPECT_EQ(estimator.count(), 1u);
+  EXPECT_DOUBLE_EQ(estimator.MeanSeconds(), 10.0);
+}
+
+TEST(DriftDetectorTest, IgnoresNonFiniteObservations) {
+  DriftDetector detector(0.02, 2.0);
+  for (int i = 0; i < 100; ++i) {
+    detector.Observe(0.5);
+  }
+  const double mean = detector.running_mean();
+  EXPECT_FALSE(detector.Observe(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(detector.Observe(std::numeric_limits<double>::infinity()));
+  EXPECT_DOUBLE_EQ(detector.running_mean(), mean);
+  // The detector still works afterwards.
+  for (int i = 0; i < 100; ++i) {
+    detector.Observe(0.5);
+  }
+  EXPECT_NEAR(detector.running_mean(), 0.5, 1e-9);
 }
 
 TEST(DriftDetectorTest, NoFalseAlarmOnStationaryStream) {
@@ -252,6 +307,122 @@ TEST(AdvisorTest, UsesLiveServiceEstimates) {
   // lambda = 0.05/s against a live mu of 0.05/s -> utilization ~1.0,
   // double what the stale profiled mu of 0.1/s would suggest.
   EXPECT_GT(advisor.EstimatedUtilization(t), 0.9);
+}
+
+// ------------------------------------------- watchdog / degradation ladder
+
+AdvisorConfig WatchdogConfig() {
+  AdvisorConfig config = FastAdvisorConfig();
+  config.fallback_sim = {800, 100, 1, 97};  // cheap fallback predictions
+  config.health_window_count = 12;
+  config.health_min_observations = 6;
+  return config;
+}
+
+// Feeds `count` observed response times equal to `factor` x the standing
+// prediction, then asks for a fresh recommendation.
+Recommendation ObserveAndRecommend(OnlineAdvisor& advisor, double& t,
+                                   double factor, int count) {
+  for (int i = 0; i < count; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+    const auto rec = advisor.Recommend(t);
+    if (rec.has_value()) {
+      advisor.OnObservedResponseTime(
+          t, factor * std::max(1e-9, rec->predicted_response_time));
+    }
+  }
+  const auto rec = advisor.Recommend(t);
+  EXPECT_TRUE(rec.has_value());
+  return *rec;
+}
+
+TEST(AdvisorLadderTest, WatchdogDemotesWhenPredictionsGoBad) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, WatchdogConfig());
+  double t = 0.0;
+  // Accurate predictions: the advisor stays on the hybrid rung.
+  Recommendation rec = ObserveAndRecommend(advisor, t, 1.0, 20);
+  EXPECT_EQ(rec.rung, AdvisorRung::kHybrid);
+  EXPECT_EQ(advisor.rung_transition_count(), 0u);
+
+  // Observations 5x the prediction: windowed error ~4 >> 0.75 -> demote.
+  // (Six bad observations are enough to tip the zero-filled window past
+  // the threshold once and not enough to refill it for a second demotion.)
+  rec = ObserveAndRecommend(advisor, t, 5.0, 6);
+  EXPECT_EQ(rec.rung, AdvisorRung::kSimulator);
+  EXPECT_EQ(advisor.rung(), AdvisorRung::kSimulator);
+  EXPECT_GE(advisor.rung_transition_count(), 1u);
+  EXPECT_GT(advisor.ModelHealthError(), 0.0);
+}
+
+TEST(AdvisorLadderTest, ProbationalPromotionAfterRecovery) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, WatchdogConfig());
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);   // establish a plan
+  ObserveAndRecommend(advisor, t, 5.0, 6);    // demote to the simulator
+  ASSERT_EQ(advisor.rung(), AdvisorRung::kSimulator);
+  // Accurate observations against the fallback prediction climb the ladder
+  // back to the hybrid rung (each promotion needs a fresh window).
+  const Recommendation rec = ObserveAndRecommend(advisor, t, 1.0, 25);
+  EXPECT_EQ(rec.rung, AdvisorRung::kHybrid);
+  EXPECT_GE(advisor.rung_transition_count(), 2u);
+}
+
+TEST(AdvisorLadderTest, StaticFloorDisablesSprinting) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  const AdvisorConfig config = WatchdogConfig();
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);
+  ObserveAndRecommend(advisor, t, 5.0, 6);    // hybrid -> simulator
+  const Recommendation rec = ObserveAndRecommend(advisor, t, 5.0, 10);
+  EXPECT_EQ(rec.rung, AdvisorRung::kStatic);
+  EXPECT_DOUBLE_EQ(rec.timeout_seconds, config.static_timeout_seconds);
+  // The floor holds: further bad observations cannot demote below static.
+  const Recommendation still = ObserveAndRecommend(advisor, t, 5.0, 10);
+  EXPECT_EQ(still.rung, AdvisorRung::kStatic);
+}
+
+// A model that has gone fully offline: every prediction throws.
+class ThrowingModel final : public PerformanceModel {
+ public:
+  std::string name() const override { return "Throwing"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput&) const override {
+    throw std::runtime_error("model backend offline");
+  }
+};
+
+TEST(AdvisorLadderTest, ThrowingModelRetriesThenDemotesWithBackoff) {
+  const ThrowingModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  AdvisorConfig config = WatchdogConfig();
+  config.replan_max_attempts = 3;
+  config.replan_backoff_seconds = 30.0;
+  OnlineAdvisor advisor(model, profile, config);
+
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+  }
+  // First ask: every retry against the dead model fails, the advisor
+  // demotes itself and backs off — no throw escapes, no recommendation yet.
+  EXPECT_FALSE(advisor.Recommend(t).has_value());
+  EXPECT_EQ(advisor.replan_failure_count(), 3u);
+  EXPECT_EQ(advisor.rung(), AdvisorRung::kSimulator);
+  // Still inside the backoff window: nothing new.
+  EXPECT_FALSE(advisor.Recommend(t + 1.0).has_value());
+  // After the backoff the fallback simulator plans successfully.
+  const auto rec = advisor.Recommend(t + 31.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->rung, AdvisorRung::kSimulator);
+  EXPECT_GT(rec->timeout_seconds, 0.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <tuple>
 
@@ -212,6 +213,35 @@ TEST(BudgetTest, ResetRestoresCapacity) {
 TEST(BudgetTest, InvalidParametersThrow) {
   EXPECT_THROW(SprintBudget(-1.0, 100.0), std::invalid_argument);
   EXPECT_THROW(SprintBudget(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(BudgetTest, BackwardsTimeIsClampedNotHonored) {
+  SprintBudget budget(40.0, 200.0);  // refill 0.2 s/s
+  budget.ConsumeUpTo(100.0, 10.0);   // level 30, clock at t=100
+  // A stale query (out-of-order telemetry) must neither rewind the clock
+  // nor mint refill: the level reads as-of the newest time seen.
+  EXPECT_DOUBLE_EQ(budget.Available(50.0), 30.0);
+  EXPECT_EQ(budget.time_regressions(), 1u);
+  // Refill resumes from t=100, not t=50: 30 + 0.2 * 50 caps at 40.
+  EXPECT_DOUBLE_EQ(budget.Available(150.0), 40.0);
+  EXPECT_EQ(budget.time_regressions(), 1u);
+}
+
+TEST(BudgetTest, BackwardsResetKeepsClockMonotonic) {
+  SprintBudget budget(40.0, 200.0);
+  budget.ConsumeUpTo(100.0, 40.0);
+  budget.Reset(50.0);  // clamped to t=100
+  EXPECT_EQ(budget.time_regressions(), 1u);
+  EXPECT_DOUBLE_EQ(budget.Available(100.0), 40.0);
+  EXPECT_EQ(budget.time_regressions(), 1u);  // t=100 is not a regression
+}
+
+TEST(BudgetTest, NonFiniteTimeThrows) {
+  SprintBudget budget(40.0, 200.0);
+  EXPECT_THROW(budget.Available(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(budget.Reset(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- policy

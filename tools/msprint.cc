@@ -19,6 +19,13 @@
 //   msprint explore --profile jacobi.cal.prof --utilization 0.75
 //       --budget 0.3 --refill 400 [--iterations 200]
 //       Simulated-annealing search for the best timeout.
+//
+//   msprint faults --workload Jacobi --seed 7 --breaker-trips 4
+//       [--toggle-fail P --outliers P --flash-crowds R ...]
+//       Run the testbed under a deterministic fault storm and print the
+//       fault trace plus run statistics. The trace is byte-stable: two
+//       invocations with the same flags print identical traces, so replays
+//       can be diffed (see README).
 
 #include <iostream>
 #include <map>
@@ -31,6 +38,7 @@
 #include "src/core/effective_rate.h"
 #include "src/explore/explorer.h"
 #include "src/profiler/profile_io.h"
+#include "src/testbed/testbed.h"
 
 namespace msprint {
 namespace {
@@ -266,6 +274,62 @@ int CmdExplore(const Flags& flags) {
   return 0;
 }
 
+// Runs the testbed under a configurable, fully deterministic fault storm
+// and prints the resulting fault trace. Two invocations with identical
+// flags print identical traces — pipe both to files and diff to audit a
+// replay.
+int CmdFaults(const Flags& flags) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(
+      ParseWorkloadId(flags.GetString("workload", "Jacobi")));
+  config.policy.mechanism =
+      ParseMechanismId(flags.GetString("mechanism", "DVFS"));
+  config.policy.timeout_seconds = flags.GetDouble("timeout", 60.0);
+  config.policy.budget_fraction = flags.GetDouble("budget", 0.2);
+  config.policy.refill_seconds = flags.GetDouble("refill", 200.0);
+  config.utilization = flags.GetDouble("utilization", 0.6);
+  config.num_queries = flags.GetSize("queries", 2000);
+  config.warmup_queries = config.num_queries / 10;
+  config.seed = flags.GetSize("seed", 1);
+
+  config.faults.seed = flags.GetSize("fault-seed", 0);  // 0: from --seed
+  config.faults.toggle_failure_probability =
+      flags.GetDouble("toggle-fail", 0.0);
+  config.faults.breaker_trips_per_hour =
+      flags.GetDouble("breaker-trips", 0.0);
+  config.faults.breaker_cooldown_seconds =
+      flags.GetDouble("breaker-cooldown", 120.0);
+  config.faults.outlier_probability = flags.GetDouble("outliers", 0.0);
+  config.faults.outlier_multiplier =
+      flags.GetDouble("outlier-multiplier", 8.0);
+  config.faults.flash_crowds_per_hour =
+      flags.GetDouble("flash-crowds", 0.0);
+  config.faults.flash_crowd_duration_seconds =
+      flags.GetDouble("crowd-duration", 60.0);
+  config.faults.flash_crowd_intensity =
+      flags.GetDouble("crowd-intensity", 3.0);
+
+  const RunTrace trace = Testbed::Run(config);
+  std::cout << FormatFaultTrace(trace.fault_trace);
+
+  size_t per_kind[8] = {};
+  for (const FaultEvent& event : trace.fault_trace) {
+    ++per_kind[static_cast<size_t>(event.kind)];
+  }
+  std::cout << "# faults: " << trace.fault_trace.size();
+  for (size_t k = 0; k < 8; ++k) {
+    if (per_kind[k] > 0) {
+      std::cout << " " << ToString(static_cast<FaultKind>(k)) << "="
+                << per_kind[k];
+    }
+  }
+  std::cout << "\n# mean response time: " << trace.mean_response_time
+            << " s, sprinted " << trace.fraction_sprinted * 100
+            << "%, sprint-seconds " << trace.total_sprint_seconds
+            << ", makespan " << trace.makespan << " s\n";
+  return 0;
+}
+
 int Usage() {
   std::cout <<
       "usage: msprint <command> [--flags]\n"
@@ -278,7 +342,10 @@ int Usage() {
       "  explore   --profile F --utilization U --budget B [--refill R\n"
       "            --iterations N]\n"
       "  replay    --profile F --trace F --budget B [--timeout T\n"
-      "            --refill R]   (what-if on a recorded arrival trace)\n";
+      "            --refill R]   (what-if on a recorded arrival trace)\n"
+      "  faults    [--workload W --seed N --toggle-fail P --breaker-trips R\n"
+      "            --breaker-cooldown S --outliers P --flash-crowds R ...]\n"
+      "            (deterministic fault-storm run; prints the fault trace)\n";
   return 2;
 }
 
@@ -315,6 +382,9 @@ int main(int argc, char** argv) {
     }
     if (command == "replay") {
       return CmdReplay(flags);
+    }
+    if (command == "faults") {
+      return CmdFaults(flags);
     }
     std::cerr << "unknown command: " << command << "\n";
     return Usage();
