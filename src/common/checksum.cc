@@ -1,0 +1,33 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace msprint {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace msprint

@@ -1,0 +1,21 @@
+// CRC-32 (the reflected 0xEDB88320 polynomial, as used by zlib/PNG) for
+// integrity-checking persisted artifacts. Cheap, table-driven, and stable
+// across platforms — the checksum is part of the on-disk formats, so it
+// must never change.
+
+#ifndef MSPRINT_SRC_COMMON_CHECKSUM_H_
+#define MSPRINT_SRC_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace msprint {
+
+// Running CRC-32: pass the previous return value as `crc` to checksum data
+// in chunks; start (and a whole-buffer call) uses the default 0.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_COMMON_CHECKSUM_H_

@@ -1,0 +1,30 @@
+// Crash-safe file primitives shared by every persistence path (binary
+// checkpoints in src/persist, text profiles in src/profiler).
+//
+// AtomicWriteFile implements the classic tmp+flush+rename protocol: the
+// contents are written to `<path>.tmp`, fsync'd, and renamed over `path`,
+// then the parent directory is fsync'd so the rename itself is durable.
+// A crash at any point leaves either the complete old file or the complete
+// new file — never a torn mixture — and at worst a stale `<path>.tmp` that
+// the next write simply overwrites.
+
+#ifndef MSPRINT_SRC_COMMON_FILEIO_H_
+#define MSPRINT_SRC_COMMON_FILEIO_H_
+
+#include <string>
+#include <string_view>
+
+namespace msprint {
+
+// Atomically and durably replaces `path` with `contents`. Throws
+// std::runtime_error (with errno detail) on any IO failure; on failure the
+// previous contents of `path` are untouched.
+void AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// Reads the whole file into a string. Throws std::runtime_error when the
+// file cannot be opened or read.
+std::string ReadFileBytes(const std::string& path);
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_COMMON_FILEIO_H_

@@ -148,4 +148,54 @@ double AnnDirectModel::PredictResponseTime(const WorkloadProfile& profile,
   return std::max(1e-3, net_.Predict(EncodeFeatures(profile, input)));
 }
 
+// ------------------------------------------------------------- persistence
+
+void SerializePredictionSimConfig(const PredictionSimConfig& sim,
+                                  persist::Writer& w) {
+  w.PutU64(sim.num_queries);
+  w.PutU64(sim.warmup);
+  w.PutU64(sim.replications);
+  w.PutU64(sim.seed);
+}
+
+PredictionSimConfig DeserializePredictionSimConfig(persist::Reader& r) {
+  PredictionSimConfig sim;
+  sim.num_queries = static_cast<size_t>(r.GetU64());
+  sim.warmup = static_cast<size_t>(r.GetU64());
+  sim.replications = static_cast<size_t>(r.GetU64());
+  sim.seed = r.GetU64();
+  if (sim.num_queries == 0 || sim.replications == 0 ||
+      sim.warmup >= sim.num_queries) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "implausible prediction-sim settings");
+  }
+  return sim;
+}
+
+void HybridModel::Serialize(persist::Writer& w) const {
+  forest_.Serialize(w);
+  SerializePredictionSimConfig(sim_, w);
+}
+
+HybridModel HybridModel::Deserialize(persist::Reader& r) {
+  RandomForest forest =
+      RandomForest::Deserialize(r, ModelFeatureNames().size());
+  const PredictionSimConfig sim = DeserializePredictionSimConfig(r);
+  return HybridModel(std::move(forest), sim);
+}
+
+void AnnDirectModel::Serialize(persist::Writer& w) const {
+  net_.Serialize(w);
+}
+
+AnnDirectModel AnnDirectModel::Deserialize(persist::Reader& r) {
+  NeuralNet net = NeuralNet::Deserialize(r);
+  if (net.input_width() != ModelFeatureNames().size()) {
+    throw persist::PersistError(
+        persist::ErrorCode::kFormat,
+        "network input width does not match the feature vocabulary");
+  }
+  return AnnDirectModel(std::move(net));
+}
+
 }  // namespace msprint

@@ -37,6 +37,13 @@ struct PredictionSimConfig {
   uint64_t seed = 97;
 };
 
+// Persistence for the simulation settings embedded in saved models; the
+// seed round-trips exactly, so a restored model replays the same
+// simulation streams. Loading rejects zero query/replication counts.
+void SerializePredictionSimConfig(const PredictionSimConfig& sim,
+                                  persist::Writer& w);
+PredictionSimConfig DeserializePredictionSimConfig(persist::Reader& r);
+
 class PerformanceModel {
  public:
   virtual ~PerformanceModel() = default;
@@ -105,6 +112,14 @@ class HybridModel final : public PerformanceModel {
                                        const ModelInput& input,
                                        double quantile) const;
 
+  // Appends the trained model to `w`; round trips are bit-exact, so a
+  // restored model predicts byte-identically.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a model written by Serialize, revalidating the forest against
+  // the canonical feature vocabulary (ModelFeatureNames). Throws
+  // persist::PersistError on malformed input.
+  static HybridModel Deserialize(persist::Reader& r);
+
  private:
   HybridModel(RandomForest forest, PredictionSimConfig sim)
       : forest_(std::move(forest)), sim_(sim) {}
@@ -124,6 +139,12 @@ class AnnDirectModel final : public PerformanceModel {
   std::string name() const override { return "ANN"; }
   double PredictResponseTime(const WorkloadProfile& profile,
                              const ModelInput& input) const override;
+
+  // Appends the trained model to `w`; round trips are bit-exact.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a model written by Serialize; the network's input width must
+  // match the canonical feature vocabulary. Throws persist::PersistError.
+  static AnnDirectModel Deserialize(persist::Reader& r);
 
  private:
   explicit AnnDirectModel(NeuralNet net) : net_(std::move(net)) {}

@@ -96,4 +96,36 @@ Dataset::Standardization Dataset::ComputeStandardization() const {
   return s;
 }
 
+void SerializeStandardization(const Dataset::Standardization& s,
+                              persist::Writer& w) {
+  w.PutDoubles(s.feature_mean);
+  w.PutDoubles(s.feature_std);
+  w.PutF64(s.target_mean);
+  w.PutF64(s.target_std);
+}
+
+Dataset::Standardization DeserializeStandardization(persist::Reader& r) {
+  Dataset::Standardization s;
+  s.feature_mean = r.GetDoubles();
+  s.feature_std = r.GetDoubles();
+  s.target_mean = r.GetFiniteF64("standardization target mean");
+  s.target_std = r.GetFiniteF64("standardization target std");
+  if (s.feature_std.size() != s.feature_mean.size()) {
+    throw persist::PersistError(
+        persist::ErrorCode::kFormat,
+        "standardization mean/std vectors differ in length");
+  }
+  for (const double sd : s.feature_std) {
+    if (sd <= 0.0) {
+      throw persist::PersistError(persist::ErrorCode::kFormat,
+                                  "standardization feature std must be > 0");
+    }
+  }
+  if (s.target_std <= 0.0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "standardization target std must be > 0");
+  }
+  return s;
+}
+
 }  // namespace msprint

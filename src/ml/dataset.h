@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/persist/persist.h"
 
 namespace msprint {
 
@@ -58,6 +59,14 @@ class Dataset {
   std::vector<std::vector<double>> rows_;
   std::vector<double> targets_;
 };
+
+// Persists a fitted Standardization; round trips are bit-exact. Loading
+// revalidates that means/stds are parallel vectors and every std is
+// strictly positive (ComputeStandardization floors them at 1e-12), so a
+// restored ANN can never divide by zero. Throws persist::PersistError.
+void SerializeStandardization(const Dataset::Standardization& s,
+                              persist::Writer& w);
+Dataset::Standardization DeserializeStandardization(persist::Reader& r);
 
 }  // namespace msprint
 

@@ -204,4 +204,95 @@ size_t DecisionTree::Depth() const {
   return root_ < 0 ? 0 : DepthFrom(root_);
 }
 
+namespace {
+
+// Serialized footprint of one node, for the pre-allocation count cap.
+constexpr size_t kNodeWireBytes = 8 + 8 + 8 + 8 + 1 + 8 + 1 + 8 + 8;
+
+}  // namespace
+
+void DecisionTree::Serialize(persist::Writer& w) const {
+  w.PutBool(anchor_feature_.has_value());
+  w.PutU64(anchor_feature_.value_or(0));
+  w.PutI64(root_);
+  w.PutU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    w.PutI64(node.left);
+    w.PutI64(node.right);
+    w.PutU64(node.split_feature);
+    w.PutF64(node.split_threshold);
+    w.PutBool(node.is_leaf);
+    w.PutF64(node.mean);
+    w.PutBool(node.has_model);
+    w.PutF64(node.slope);
+    w.PutF64(node.bias);
+  }
+}
+
+DecisionTree DecisionTree::Deserialize(persist::Reader& r,
+                                       size_t num_features) {
+  using persist::ErrorCode;
+  using persist::PersistError;
+
+  DecisionTree tree;
+  const bool has_anchor = r.GetBool();
+  const uint64_t anchor = r.GetU64();
+  if (has_anchor) {
+    if (anchor >= num_features) {
+      throw PersistError(ErrorCode::kFormat,
+                         "tree anchor feature out of range");
+    }
+    tree.anchor_feature_ = static_cast<size_t>(anchor);
+  }
+  const int64_t root = r.GetI64();
+  const uint64_t count = r.GetCount(kNodeWireBytes, "tree node");
+  if (count == 0 || root < 0 || root >= static_cast<int64_t>(count)) {
+    throw PersistError(ErrorCode::kFormat, "tree root out of range");
+  }
+  tree.root_ = static_cast<int>(root);
+  tree.nodes_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Node node;
+    const int64_t left = r.GetI64();
+    const int64_t right = r.GetI64();
+    node.split_feature = static_cast<size_t>(r.GetU64());
+    node.split_threshold = r.GetF64();
+    node.is_leaf = r.GetBool();
+    node.mean = r.GetF64();
+    node.has_model = r.GetBool();
+    node.slope = r.GetF64();
+    node.bias = r.GetF64();
+    if (node.is_leaf) {
+      if (left != -1 || right != -1) {
+        throw PersistError(ErrorCode::kFormat, "leaf node with children");
+      }
+      if (!std::isfinite(node.mean) || !std::isfinite(node.slope) ||
+          !std::isfinite(node.bias)) {
+        throw PersistError(ErrorCode::kFormat, "non-finite leaf payload");
+      }
+    } else {
+      // Children must point strictly forward; this is the invariant
+      // construction guarantees and what makes Predict cycle-free.
+      if (left <= static_cast<int64_t>(i) || right <= static_cast<int64_t>(i) ||
+          left >= static_cast<int64_t>(count) ||
+          right >= static_cast<int64_t>(count)) {
+        throw PersistError(ErrorCode::kFormat,
+                           "tree child index not strictly forward");
+      }
+      if (node.split_feature >= num_features) {
+        throw PersistError(ErrorCode::kFormat,
+                           "tree split feature out of range");
+      }
+      if (!std::isfinite(node.split_threshold)) {
+        throw PersistError(ErrorCode::kFormat,
+                           "non-finite tree split threshold");
+      }
+    }
+    node.left = static_cast<int>(left);
+    node.right = static_cast<int>(right);
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
 }  // namespace msprint

@@ -24,6 +24,7 @@
 
 #include "src/ml/dataset.h"
 #include "src/ml/linear_regression.h"
+#include "src/persist/persist.h"
 
 namespace msprint {
 
@@ -50,6 +51,14 @@ class DecisionTree {
 
   size_t NodeCount() const { return nodes_.size(); }
   size_t Depth() const;
+
+  // Appends the fitted tree to `w`; round trips are bit-exact.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a tree written by Serialize, bounding feature indices by
+  // `num_features` and revalidating the structural invariant that child
+  // indices strictly exceed their parent's — the property that guarantees
+  // Predict terminates. Throws persist::PersistError on any violation.
+  static DecisionTree Deserialize(persist::Reader& r, size_t num_features);
 
  private:
   struct Node {

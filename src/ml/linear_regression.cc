@@ -137,4 +137,15 @@ double LinearRegression::Predict(const std::vector<double>& features) const {
   return acc;
 }
 
+void LinearRegression::Serialize(persist::Writer& w) const {
+  w.PutDoubles(coefficients_);
+  w.PutF64(intercept_);
+}
+
+LinearRegression LinearRegression::Deserialize(persist::Reader& r) {
+  std::vector<double> coefficients = r.GetDoubles();
+  const double intercept = r.GetFiniteF64("linear-regression intercept");
+  return LinearRegression(std::move(coefficients), intercept);
+}
+
 }  // namespace msprint

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/ml/dataset.h"
+#include "src/persist/persist.h"
 
 namespace msprint {
 
@@ -26,6 +27,12 @@ class LinearRegression {
 
   const std::vector<double>& coefficients() const { return coefficients_; }
   double intercept() const { return intercept_; }
+
+  // Appends the fitted model to `w`; round trips are bit-exact.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a model written by Serialize. Throws persist::PersistError on
+  // malformed input.
+  static LinearRegression Deserialize(persist::Reader& r);
 
  private:
   LinearRegression(std::vector<double> coefficients, double intercept)

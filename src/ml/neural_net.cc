@@ -192,4 +192,58 @@ double NeuralNet::Predict(const std::vector<double>& features) const {
          standardization_.target_mean;
 }
 
+void NeuralNet::Serialize(persist::Writer& w) const {
+  w.PutU64(layers_.size());
+  for (const Layer& layer : layers_) {
+    w.PutU64(layer.in);
+    w.PutU64(layer.out);
+    w.PutDoubles(layer.weights);
+    w.PutDoubles(layer.bias);
+  }
+  SerializeStandardization(standardization_, w);
+  w.PutF64(final_training_mse_);
+}
+
+NeuralNet NeuralNet::Deserialize(persist::Reader& r) {
+  using persist::ErrorCode;
+  using persist::PersistError;
+
+  NeuralNet net;
+  // Each layer carries at least its two width fields and two counts.
+  const uint64_t num_layers = r.GetCount(8 + 8 + 8 + 8, "network layer");
+  if (num_layers == 0) {
+    throw PersistError(ErrorCode::kFormat, "network with zero layers");
+  }
+  net.layers_.reserve(static_cast<size_t>(num_layers));
+  for (uint64_t l = 0; l < num_layers; ++l) {
+    Layer layer;
+    layer.in = static_cast<size_t>(r.GetU64());
+    layer.out = static_cast<size_t>(r.GetU64());
+    layer.weights = r.GetDoubles();
+    layer.bias = r.GetDoubles();
+    if (layer.in == 0 || layer.out == 0 ||
+        layer.weights.size() != layer.in * layer.out ||
+        layer.bias.size() != layer.out) {
+      throw PersistError(ErrorCode::kFormat,
+                         "layer weight/bias shape mismatch");
+    }
+    if (!net.layers_.empty() && layer.in != net.layers_.back().out) {
+      throw PersistError(ErrorCode::kFormat,
+                         "layer input width breaks the chain");
+    }
+    net.layers_.push_back(std::move(layer));
+  }
+  if (net.layers_.back().out != 1) {
+    throw PersistError(ErrorCode::kFormat,
+                       "network output layer must be scalar");
+  }
+  net.standardization_ = DeserializeStandardization(r);
+  if (net.standardization_.feature_mean.size() != net.layers_.front().in) {
+    throw PersistError(ErrorCode::kFormat,
+                       "standardization width does not match input layer");
+  }
+  net.final_training_mse_ = r.GetFiniteF64("network training mse");
+  return net;
+}
+
 }  // namespace msprint

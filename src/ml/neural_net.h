@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/ml/dataset.h"
+#include "src/persist/persist.h"
 
 namespace msprint {
 
@@ -47,6 +48,17 @@ class NeuralNet {
   // Training-set mean squared error after the final epoch (standardized
   // target units); useful for convergence checks in tests.
   double final_training_mse() const { return final_training_mse_; }
+
+  // Width of the feature vector the network was trained on.
+  size_t input_width() const { return standardization_.feature_mean.size(); }
+
+  // Appends the trained network to `w`; round trips are bit-exact.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a network written by Serialize, revalidating layer chaining
+  // (layer i's input width must equal layer i-1's output width) and the
+  // standardization dimensions. Throws persist::PersistError on malformed
+  // input.
+  static NeuralNet Deserialize(persist::Reader& r);
 
  private:
   struct Layer {

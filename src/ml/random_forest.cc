@@ -88,4 +88,27 @@ std::vector<double> RandomForest::PredictPerTree(
   return votes;
 }
 
+void RandomForest::Serialize(persist::Writer& w) const {
+  w.PutU64(trees_.size());
+  for (const DecisionTree& tree : trees_) {
+    tree.Serialize(w);
+  }
+}
+
+RandomForest RandomForest::Deserialize(persist::Reader& r,
+                                       size_t num_features) {
+  // A serialized tree occupies at least the anchor/root/count preamble.
+  const uint64_t count = r.GetCount(1 + 8 + 8 + 8, "forest tree");
+  if (count == 0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "forest with zero trees");
+  }
+  RandomForest forest;
+  forest.trees_.reserve(static_cast<size_t>(count));
+  for (uint64_t t = 0; t < count; ++t) {
+    forest.trees_.push_back(DecisionTree::Deserialize(r, num_features));
+  }
+  return forest;
+}
+
 }  // namespace msprint

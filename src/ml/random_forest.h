@@ -51,6 +51,14 @@ class RandomForest {
 
   size_t TreeCount() const { return trees_.size(); }
 
+  // Appends the fitted forest to `w`; round trips are bit-exact, so a
+  // restored forest votes byte-identically.
+  void Serialize(persist::Writer& w) const;
+  // Rebuilds a forest written by Serialize; every tree is revalidated
+  // against `num_features`. Throws persist::PersistError on malformed
+  // input.
+  static RandomForest Deserialize(persist::Reader& r, size_t num_features);
+
  private:
   std::vector<DecisionTree> trees_;
 };

@@ -232,4 +232,109 @@ std::vector<double> OnlineAdvisor::PredictTimeouts(
                                                 config_.pool);
 }
 
+// --------------------------------------------------------------- snapshot
+
+void OnlineAdvisor::SaveState(persist::Writer& w) const {
+  rate_estimator_.Serialize(w);
+  service_estimator_.Serialize(w);
+  drift_.Serialize(w);
+
+  w.PutBool(current_.has_value());
+  if (current_.has_value()) {
+    w.PutF64(current_->timeout_seconds);
+    w.PutF64(current_->predicted_response_time);
+    w.PutF64(current_->at_utilization);
+    w.PutU64(current_->revision);
+    w.PutU8(static_cast<uint8_t>(current_->rung));
+  }
+  w.PutU64(replan_count_);
+
+  w.PutU8(static_cast<uint8_t>(rung_));
+  w.PutU64(rung_transition_count_);
+  w.PutF64(health_error_sum_);
+  w.PutU64(health_errors_.size());
+  for (const double e : health_errors_) {
+    w.PutF64(e);
+  }
+  w.PutBool(pending_replan_);
+  w.PutF64(backoff_until_);
+  w.PutU64(replan_failure_count_);
+}
+
+namespace {
+
+AdvisorRung RungFromByte(uint8_t byte) {
+  if (byte > static_cast<uint8_t>(AdvisorRung::kStatic)) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "advisor rung byte out of range");
+  }
+  return static_cast<AdvisorRung>(byte);
+}
+
+}  // namespace
+
+void OnlineAdvisor::RestoreState(persist::Reader& r) {
+  using persist::ErrorCode;
+  using persist::PersistError;
+
+  // Parse the whole snapshot into temporaries first; nothing below the
+  // commit point can throw, so a malformed snapshot cannot leave the
+  // advisor half-restored.
+  SlidingWindowRateEstimator rate = SlidingWindowRateEstimator::Deserialize(r);
+  ServiceTimeEstimator service = ServiceTimeEstimator::Deserialize(r);
+  DriftDetector drift = DriftDetector::Deserialize(r);
+
+  std::optional<Recommendation> current;
+  if (r.GetBool()) {
+    Recommendation rec;
+    rec.timeout_seconds = r.GetFiniteF64("recommendation timeout");
+    rec.predicted_response_time =
+        r.GetFiniteF64("recommendation predicted response time");
+    rec.at_utilization = r.GetFiniteF64("recommendation utilization");
+    rec.revision = static_cast<size_t>(r.GetU64());
+    rec.rung = RungFromByte(r.GetU8());
+    current = rec;
+  }
+  const uint64_t replan_count = r.GetU64();
+
+  const AdvisorRung rung = RungFromByte(r.GetU8());
+  const uint64_t rung_transitions = r.GetU64();
+  const double health_error_sum = r.GetFiniteF64("watchdog error sum");
+  const uint64_t health_count = r.GetCount(sizeof(double), "watchdog error");
+  if (health_count > config_.health_window_count) {
+    throw PersistError(ErrorCode::kFormat,
+                       "watchdog window larger than configured");
+  }
+  std::deque<double> health_errors;
+  for (uint64_t i = 0; i < health_count; ++i) {
+    const double e = r.GetFiniteF64("watchdog error");
+    if (e < 0.0) {
+      throw PersistError(ErrorCode::kFormat,
+                         "watchdog error must be non-negative");
+    }
+    health_errors.push_back(e);
+  }
+  const bool pending_replan = r.GetBool();
+  const double backoff_until = r.GetFiniteF64("replan backoff deadline");
+  const uint64_t replan_failures = r.GetU64();
+  // The snapshot is always the whole payload; trailing bytes mean a
+  // writer/reader mismatch. Checked before the commit point so even that
+  // leaves the advisor untouched.
+  r.ExpectEnd();
+
+  // Commit.
+  rate_estimator_ = std::move(rate);
+  service_estimator_ = std::move(service);
+  drift_ = std::move(drift);
+  current_ = current;
+  replan_count_ = static_cast<size_t>(replan_count);
+  rung_ = rung;
+  rung_transition_count_ = static_cast<size_t>(rung_transitions);
+  health_error_sum_ = health_error_sum;
+  health_errors_ = std::move(health_errors);
+  pending_replan_ = pending_replan;
+  backoff_until_ = backoff_until;
+  replan_failure_count_ = static_cast<size_t>(replan_failures);
+}
+
 }  // namespace msprint

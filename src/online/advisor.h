@@ -141,6 +141,20 @@ class OnlineAdvisor {
   size_t rung_transition_count() const { return rung_transition_count_; }
   size_t replan_failure_count() const { return replan_failure_count_; }
 
+  // Snapshots the advisor's full mutable state: estimator windows, drift
+  // accumulators, the watchdog error window, the standing recommendation,
+  // the ladder rung, and the replan/backoff bookkeeping. The model, the
+  // profile and the config are not included — the checkpoint layer
+  // (src/persist/checkpoint.h) persists those alongside. Round trips are
+  // bit-exact, so a warm-restarted advisor emits the same recommendation
+  // stream as one that never stopped.
+  void SaveState(persist::Writer& w) const;
+  // Restores a snapshot written by SaveState. Everything is parsed and
+  // validated into temporaries before any member is touched, so a
+  // malformed snapshot throws persist::PersistError and leaves the advisor
+  // exactly as it was.
+  void RestoreState(persist::Reader& r);
+
  private:
   bool ShouldReplan(double utilization);
   void UpdateRung();

@@ -140,4 +140,115 @@ bool DriftDetector::Observe(double value) {
   return false;
 }
 
+// --------------------------------------------------------------- snapshot
+
+void SlidingWindowRateEstimator::Serialize(persist::Writer& w) const {
+  w.PutF64(window_seconds_);
+  w.PutU8(policy_ == TimestampPolicy::kClamp ? 1 : 0);
+  w.PutU64(out_of_order_);
+  w.PutU64(arrivals_.size());
+  for (const double t : arrivals_) {
+    w.PutF64(t);
+  }
+}
+
+SlidingWindowRateEstimator SlidingWindowRateEstimator::Deserialize(
+    persist::Reader& r) {
+  using persist::ErrorCode;
+  using persist::PersistError;
+
+  const double window = r.GetFiniteF64("rate-estimator window");
+  if (window <= 0.0) {
+    throw PersistError(ErrorCode::kFormat,
+                       "rate-estimator window must be > 0");
+  }
+  const uint8_t policy_byte = r.GetU8();
+  if (policy_byte > 1) {
+    throw PersistError(ErrorCode::kFormat,
+                       "rate-estimator policy byte out of range");
+  }
+  SlidingWindowRateEstimator estimator(
+      window, policy_byte == 1 ? TimestampPolicy::kClamp
+                               : TimestampPolicy::kStrict);
+  estimator.out_of_order_ = static_cast<size_t>(r.GetU64());
+  const uint64_t count = r.GetCount(sizeof(double), "rate-estimator arrival");
+  for (uint64_t i = 0; i < count; ++i) {
+    const double t = r.GetFiniteF64("rate-estimator arrival");
+    if (!estimator.arrivals_.empty() && t < estimator.arrivals_.back()) {
+      throw PersistError(ErrorCode::kFormat,
+                         "rate-estimator arrivals must be non-decreasing");
+    }
+    estimator.arrivals_.push_back(t);
+  }
+  return estimator;
+}
+
+void ServiceTimeEstimator::Serialize(persist::Writer& w) const {
+  w.PutU64(window_count_);
+  w.PutU64(rejected_);
+  w.PutF64(sum_);
+  w.PutF64(sum_sq_);
+  w.PutU64(samples_.size());
+  for (const double s : samples_) {
+    w.PutF64(s);
+  }
+}
+
+ServiceTimeEstimator ServiceTimeEstimator::Deserialize(persist::Reader& r) {
+  using persist::ErrorCode;
+  using persist::PersistError;
+
+  const uint64_t window_count = r.GetU64();
+  if (window_count == 0) {
+    throw PersistError(ErrorCode::kFormat,
+                       "service-estimator window count must be > 0");
+  }
+  ServiceTimeEstimator estimator(static_cast<size_t>(window_count));
+  estimator.rejected_ = static_cast<size_t>(r.GetU64());
+  estimator.sum_ = r.GetFiniteF64("service-estimator sum");
+  estimator.sum_sq_ = r.GetFiniteF64("service-estimator sum of squares");
+  const uint64_t count = r.GetCount(sizeof(double), "service sample");
+  if (count > window_count) {
+    throw PersistError(ErrorCode::kFormat,
+                       "service-estimator window overflow");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const double s = r.GetFiniteF64("service sample");
+    if (s < 0.0) {
+      throw PersistError(ErrorCode::kFormat,
+                         "service sample must be non-negative");
+    }
+    estimator.samples_.push_back(s);
+  }
+  return estimator;
+}
+
+void DriftDetector::Serialize(persist::Writer& w) const {
+  w.PutF64(delta_);
+  w.PutF64(threshold_);
+  w.PutU64(count_);
+  w.PutF64(mean_);
+  w.PutF64(cumulative_up_);
+  w.PutF64(min_up_);
+  w.PutF64(cumulative_down_);
+  w.PutF64(max_down_);
+}
+
+DriftDetector DriftDetector::Deserialize(persist::Reader& r) {
+  const double delta = r.GetFiniteF64("drift delta");
+  const double threshold = r.GetFiniteF64("drift threshold");
+  if (delta < 0.0 || threshold <= 0.0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "invalid drift detector parameters");
+  }
+  DriftDetector detector(delta, threshold);
+  detector.count_ = static_cast<size_t>(r.GetU64());
+  detector.mean_ = r.GetFiniteF64("drift mean");
+  detector.cumulative_up_ = r.GetFiniteF64("drift cumulative up");
+  detector.min_up_ = r.GetFiniteF64("drift min up");
+  detector.cumulative_down_ = r.GetFiniteF64("drift cumulative down");
+  detector.max_down_ = r.GetFiniteF64("drift max down");
+  return detector;
+}
+
 }  // namespace msprint

@@ -19,6 +19,8 @@
 #include <cstddef>
 #include <deque>
 
+#include "src/persist/persist.h"
+
 namespace msprint {
 
 // How an estimator treats timestamps that violate the non-decreasing
@@ -53,6 +55,12 @@ class SlidingWindowRateEstimator {
   // Timestamps clamped or ignored so far (kClamp only).
   size_t out_of_order_count() const { return out_of_order_; }
 
+  // Snapshot/warm-restore: the full window round-trips bit-exactly, so a
+  // restored estimator reports the same rate stream. Deserialize
+  // revalidates that the stored arrivals are finite and non-decreasing.
+  void Serialize(persist::Writer& w) const;
+  static SlidingWindowRateEstimator Deserialize(persist::Reader& r);
+
  private:
   void Evict(double now) const;
 
@@ -79,6 +87,12 @@ class ServiceTimeEstimator {
   double CoefficientOfVariation() const;
   size_t count() const { return samples_.size(); }
 
+  // Snapshot/warm-restore. The running sum and sum-of-squares are stored
+  // as exact bit patterns rather than recomputed, so restored statistics
+  // match the incremental ones to the last bit.
+  void Serialize(persist::Writer& w) const;
+  static ServiceTimeEstimator Deserialize(persist::Reader& r);
+
  private:
   size_t window_count_;
   size_t rejected_ = 0;
@@ -102,6 +116,10 @@ class DriftDetector {
 
   size_t observations() const { return count_; }
   double running_mean() const { return mean_; }
+
+  // Snapshot/warm-restore of the Page-Hinkley accumulators (bit-exact).
+  void Serialize(persist::Writer& w) const;
+  static DriftDetector Deserialize(persist::Reader& r);
 
  private:
   void Reset();

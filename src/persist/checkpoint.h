@@ -1,0 +1,86 @@
+// Composed checkpoints: one durable file holding everything needed to
+// warm-restart the online advisor loop — the workload profile, the trained
+// hybrid model, the advisor configuration, the advisor's mutable state,
+// the sprint-budget accrual state and the drive cursor of the CLI loop.
+//
+// Sections of the record (each independently checksummed):
+//   profile        — the text profile format of src/profiler/profile_io
+//   model          — HybridModel (forest + simulation settings)
+//   advisor-config — AdvisorConfig minus the thread pool
+//   advisor-state  — OnlineAdvisor::SaveState payload
+//   budget         — SprintBudget accrual state
+//   drive          — {seed, step, clock} cursor of the deterministic drive
+//
+// Everything round-trips bit-exactly, so under the repo's determinism
+// invariant a restored advisor emits the same recommendation stream as one
+// that was never interrupted, for any pool size.
+
+#ifndef MSPRINT_SRC_PERSIST_CHECKPOINT_H_
+#define MSPRINT_SRC_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/online/advisor.h"
+#include "src/persist/persist.h"
+#include "src/sprint/budget.h"
+
+namespace msprint {
+namespace persist {
+
+// Cursor of the deterministic advisor drive (tools/msprint.cc): the loop
+// is a pure function of (seed, step), with the virtual clock carried
+// alongside, so a restored run continues byte-identically.
+struct DriveState {
+  uint64_t seed = 0;
+  uint64_t step = 0;
+  double clock_seconds = 0.0;
+};
+
+// AdvisorConfig persistence (the `pool` pointer is not serialized; the
+// loaded config has pool == nullptr and callers re-attach one). Loading
+// validates enum bytes and rejects non-finite settings.
+void SerializeAdvisorConfig(const AdvisorConfig& config, Writer& w);
+AdvisorConfig DeserializeAdvisorConfig(Reader& r);
+
+// Saves a composed checkpoint via the atomic tmp+flush+rename protocol: a
+// crash at any write point leaves the previous checkpoint loadable.
+void SaveCheckpointToFile(const std::string& path,
+                          const WorkloadProfile& profile,
+                          const HybridModel& model,
+                          const AdvisorConfig& config,
+                          const OnlineAdvisor& advisor,
+                          const SprintBudget& budget,
+                          const DriveState& drive);
+
+// A parsed checkpoint. `advisor_state` is the raw (already checksummed)
+// SaveState payload: construct an OnlineAdvisor against `model`/`profile`/
+// `config`, then apply it with RestoreAdvisorState.
+struct LoadedCheckpoint {
+  WorkloadProfile profile;
+  HybridModel model;
+  AdvisorConfig config;
+  SprintBudget budget;
+  DriveState drive;
+  std::string advisor_state;
+};
+
+// Loads and fully validates a checkpoint file. Every failure mode —
+// missing file, torn bytes, bit flips, future versions, inconsistent
+// content — throws a typed PersistError; no partial object escapes.
+LoadedCheckpoint LoadCheckpointFromFile(const std::string& path);
+
+// Parses checkpoint bytes already in memory (the corruption harness feeds
+// mutated byte strings through this).
+LoadedCheckpoint ParseCheckpoint(std::string bytes);
+
+// Applies a LoadedCheckpoint::advisor_state payload to a freshly
+// constructed advisor. Throws PersistError on malformed payloads, leaving
+// the advisor untouched.
+void RestoreAdvisorState(OnlineAdvisor& advisor,
+                         const std::string& advisor_state);
+
+}  // namespace persist
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,105 @@
+#include "src/persist/corruption.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/rng.h"
+
+namespace msprint {
+namespace persist {
+
+namespace {
+
+void SetReport(CorruptionReport* report, const char* mode, size_t offset,
+               size_t length) {
+  if (report != nullptr) {
+    report->mode = mode;
+    report->offset = offset;
+    report->length = length;
+  }
+}
+
+std::string AppendGarbage(std::string bytes, Rng& rng,
+                          CorruptionReport* report) {
+  const size_t extra = 1 + rng.NextBounded(64);
+  SetReport(report, "append-garbage", bytes.size(), extra);
+  for (size_t i = 0; i < extra; ++i) {
+    bytes.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string CorruptBytes(const std::string& bytes, uint64_t seed,
+                         CorruptionReport* report) {
+  Rng rng(DeriveSeed(seed, 0xC0220707u));
+  if (bytes.empty()) {
+    return AppendGarbage(bytes, rng, report);
+  }
+
+  std::string out = bytes;
+  switch (rng.NextBounded(6)) {
+    case 0: {  // flip 1..8 random bits
+      const size_t flips = 1 + rng.NextBounded(8);
+      size_t first = out.size();
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t at = rng.NextBounded(out.size());
+        out[at] = static_cast<char>(
+            static_cast<unsigned char>(out[at]) ^ (1u << rng.NextBounded(8)));
+        first = std::min(first, at);
+      }
+      SetReport(report, "bit-flip", first, flips);
+      // Flipping an odd number of bits always changes at least one byte,
+      // but pairs can cancel; fall through to the guarantee check below.
+      break;
+    }
+    case 1: {  // truncate to a strict prefix (possibly empty)
+      const size_t keep = rng.NextBounded(out.size());
+      SetReport(report, "truncate", keep, 0);
+      out.resize(keep);
+      break;
+    }
+    case 2: {  // overwrite a range with random bytes
+      const size_t at = rng.NextBounded(out.size());
+      const size_t len =
+          1 + rng.NextBounded(std::min<size_t>(out.size() - at, 32));
+      SetReport(report, "overwrite", at, len);
+      for (size_t i = 0; i < len; ++i) {
+        out[at + i] = static_cast<char>(rng.NextBounded(256));
+      }
+      break;
+    }
+    case 3: {  // zero a range (mimics a hole from a partial write)
+      const size_t at = rng.NextBounded(out.size());
+      const size_t len =
+          1 + rng.NextBounded(std::min<size_t>(out.size() - at, 64));
+      SetReport(report, "zero-range", at, len);
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(at),
+                out.begin() + static_cast<std::ptrdiff_t>(at + len), '\0');
+      break;
+    }
+    case 4: {  // stomp the header (magic/version live in the first bytes)
+      const size_t len = std::min<size_t>(out.size(), 1 + rng.NextBounded(12));
+      SetReport(report, "magic-stomp", 0, len);
+      for (size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<char>(rng.NextBounded(256));
+      }
+      break;
+    }
+    default:
+      return AppendGarbage(std::move(out), rng, report);
+  }
+
+  if (out == bytes) {
+    // Random overwrites can reproduce the original bytes; force a change
+    // so every seed yields a genuine mutant.
+    const size_t at = rng.NextBounded(out.size());
+    out[at] = static_cast<char>(static_cast<unsigned char>(out[at]) ^ 0x01u);
+    SetReport(report, "forced-bit-flip", at, 1);
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace msprint

@@ -1,0 +1,35 @@
+// Deterministic corruption injection for persistence fuzzing. Given a
+// well-formed record and a seed, CorruptBytes applies a seed-derived
+// mutation (bit flips, truncation, range overwrites, zeroed ranges, magic
+// stomps, appended garbage) and guarantees the result differs from the
+// input. The harness in tests/persist_test.cc and the CI persist-fuzz job
+// feed thousands of these mutants to the loaders and assert every one
+// fails closed with a typed PersistError.
+
+#ifndef MSPRINT_SRC_PERSIST_CORRUPTION_H_
+#define MSPRINT_SRC_PERSIST_CORRUPTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msprint {
+namespace persist {
+
+// What a corruption pass did, for failure diagnostics.
+struct CorruptionReport {
+  std::string mode;     // e.g. "bit-flip", "truncate"
+  size_t offset = 0;    // first affected byte
+  size_t length = 0;    // affected byte count (0 for pure truncation)
+};
+
+// Returns a mutated copy of `bytes`. The mutation is a pure function of
+// (bytes, seed) — replaying a seed replays the exact corruption — and the
+// result is always different from the input. Empty input gains appended
+// garbage. `report`, when non-null, receives what was done.
+std::string CorruptBytes(const std::string& bytes, uint64_t seed,
+                         CorruptionReport* report = nullptr);
+
+}  // namespace persist
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_PERSIST_CORRUPTION_H_

@@ -1,0 +1,307 @@
+#include "src/persist/persist.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/fileio.h"
+
+namespace msprint {
+namespace persist {
+
+namespace {
+
+// First byte high-bit + CR/LF + EOF marker + LF, PNG-style: any text-mode
+// transfer or truncation of the header is caught before parsing starts.
+constexpr char kMagic[8] = {'\x89', 'M', 'S', 'P', '\r', '\n', '\x1a', '\n'};
+
+constexpr size_t kMaxSections = 4096;
+constexpr size_t kMaxSectionNameBytes = 256;
+
+}  // namespace
+
+std::string ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIo:
+      return "io error";
+    case ErrorCode::kBadMagic:
+      return "bad magic";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported version";
+    case ErrorCode::kTruncated:
+      return "truncated record";
+    case ErrorCode::kChecksumMismatch:
+      return "checksum mismatch";
+    case ErrorCode::kFormat:
+      return "malformed record";
+    case ErrorCode::kMissingSection:
+      return "missing section";
+  }
+  return "unknown persist error";
+}
+
+// ------------------------------------------------------------------ Writer
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void Writer::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU64(s.size());
+  bytes_.append(s.data(), s.size());
+}
+
+void Writer::PutDoubles(const std::vector<double>& v) {
+  PutU64(v.size());
+  for (const double d : v) {
+    PutF64(d);
+  }
+}
+
+// ------------------------------------------------------------------ Reader
+
+std::string_view Reader::Take(size_t n) {
+  if (n > remaining()) {
+    throw PersistError(ErrorCode::kTruncated,
+                       "need " + std::to_string(n) + " bytes, have " +
+                           std::to_string(remaining()));
+  }
+  const std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+uint8_t Reader::GetU8() {
+  return static_cast<uint8_t>(Take(1)[0]);
+}
+
+uint32_t Reader::GetU32() {
+  const std::string_view b = Take(4);
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(b[static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+uint64_t Reader::GetU64() {
+  const std::string_view b = Take(8);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(b[static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+int64_t Reader::GetI64() { return static_cast<int64_t>(GetU64()); }
+
+double Reader::GetF64() {
+  const uint64_t bits = GetU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Reader::GetFiniteF64(const char* what) {
+  const double v = GetF64();
+  if (!std::isfinite(v)) {
+    throw PersistError(ErrorCode::kFormat,
+                       std::string(what) + " must be finite");
+  }
+  return v;
+}
+
+bool Reader::GetBool() {
+  const uint8_t v = GetU8();
+  if (v > 1) {
+    throw PersistError(ErrorCode::kFormat, "bool byte out of range");
+  }
+  return v == 1;
+}
+
+std::string Reader::GetString() {
+  const uint64_t len = GetU64();
+  if (len > remaining()) {
+    throw PersistError(ErrorCode::kTruncated,
+                       "string length exceeds remaining bytes");
+  }
+  const std::string_view b = Take(static_cast<size_t>(len));
+  return std::string(b);
+}
+
+std::vector<double> Reader::GetDoubles(bool require_finite) {
+  const uint64_t count = GetCount(sizeof(double), "double vector");
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const double v = GetF64();
+    if (require_finite && !std::isfinite(v)) {
+      throw PersistError(ErrorCode::kFormat,
+                         "non-finite element in double vector");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+uint64_t Reader::GetCount(size_t min_bytes_per_item, const char* what) {
+  const uint64_t count = GetU64();
+  const uint64_t cap = remaining() / (min_bytes_per_item == 0
+                                          ? 1
+                                          : min_bytes_per_item);
+  if (count > cap) {
+    throw PersistError(ErrorCode::kTruncated,
+                       std::string(what) + " count " + std::to_string(count) +
+                           " implies more bytes than remain");
+  }
+  return count;
+}
+
+std::string_view Reader::GetRaw(size_t n) { return Take(n); }
+
+void Reader::ExpectEnd() const {
+  if (remaining() != 0) {
+    throw PersistError(ErrorCode::kFormat,
+                       std::to_string(remaining()) +
+                           " trailing bytes after payload");
+  }
+}
+
+// ------------------------------------------------------------ RecordWriter
+
+void RecordWriter::AddSection(std::string name, std::string payload) {
+  if (name.empty() || name.size() > kMaxSectionNameBytes) {
+    throw PersistError(ErrorCode::kFormat, "invalid section name");
+  }
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string RecordWriter::Seal(uint32_t version) const {
+  Writer w;
+  w.PutRaw(std::string_view(kMagic, sizeof(kMagic)));
+  w.PutU32(version);
+  w.PutU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    w.PutU32(static_cast<uint32_t>(name.size()));
+    w.PutRaw(name);
+    w.PutU64(payload.size());
+    w.PutRaw(payload);
+    w.PutU32(Crc32(payload, Crc32(name)));
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------------------ RecordReader
+
+RecordReader RecordReader::Parse(std::string bytes, uint32_t max_version) {
+  Reader r(bytes);
+  if (r.remaining() < sizeof(kMagic)) {
+    throw PersistError(ErrorCode::kTruncated, "shorter than the magic");
+  }
+  if (r.GetRaw(sizeof(kMagic)) != std::string_view(kMagic, sizeof(kMagic))) {
+    throw PersistError(ErrorCode::kBadMagic, "not an msprint record");
+  }
+  RecordReader record;
+  record.version_ = r.GetU32();
+  if (record.version_ == 0 || record.version_ > max_version) {
+    throw PersistError(ErrorCode::kUnsupportedVersion,
+                       "format version " + std::to_string(record.version_) +
+                           " (reader supports 1.." +
+                           std::to_string(max_version) + ")");
+  }
+  const uint32_t count = r.GetU32();
+  if (count > kMaxSections) {
+    throw PersistError(ErrorCode::kFormat, "implausible section count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = r.GetU32();
+    if (name_len == 0 || name_len > kMaxSectionNameBytes ||
+        name_len > r.remaining()) {
+      throw PersistError(ErrorCode::kFormat, "invalid section name length");
+    }
+    std::string name(r.GetRaw(name_len));
+    const uint64_t payload_len = r.GetU64();
+    if (payload_len > r.remaining()) {
+      throw PersistError(ErrorCode::kTruncated,
+                         "section '" + name + "' length exceeds file size");
+    }
+    std::string payload(r.GetRaw(static_cast<size_t>(payload_len)));
+    const uint32_t stored_crc = r.GetU32();
+    const uint32_t actual_crc = Crc32(payload, Crc32(name));
+    if (stored_crc != actual_crc) {
+      throw PersistError(ErrorCode::kChecksumMismatch,
+                         "section '" + name + "'");
+    }
+    for (const auto& [existing, _] : record.sections_) {
+      if (existing == name) {
+        throw PersistError(ErrorCode::kFormat,
+                           "duplicate section '" + name + "'");
+      }
+    }
+    record.sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  r.ExpectEnd();
+  return record;
+}
+
+bool RecordReader::Has(std::string_view name) const {
+  for (const auto& [existing, _] : sections_) {
+    if (existing == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string& RecordReader::Section(std::string_view name) const {
+  for (const auto& [existing, payload] : sections_) {
+    if (existing == name) {
+      return payload;
+    }
+  }
+  throw PersistError(ErrorCode::kMissingSection, std::string(name));
+}
+
+// ----------------------------------------------------------- durable files
+
+void WriteRecordToFile(const std::string& path, const RecordWriter& record,
+                       uint32_t version) {
+  try {
+    AtomicWriteFile(path, record.Seal(version));
+  } catch (const PersistError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw PersistError(ErrorCode::kIo, error.what());
+  }
+}
+
+RecordReader ReadRecordFromFile(const std::string& path,
+                                uint32_t max_version) {
+  std::string bytes;
+  try {
+    bytes = ReadFileBytes(path);
+  } catch (const std::exception& error) {
+    throw PersistError(ErrorCode::kIo, error.what());
+  }
+  return RecordReader::Parse(std::move(bytes), max_version);
+}
+
+}  // namespace persist
+}  // namespace msprint

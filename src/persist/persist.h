@@ -1,0 +1,172 @@
+// Crash-safe persistence substrate: a versioned, length-prefixed,
+// CRC32-checksummed binary record format with atomic durable writes.
+//
+// Layout of a sealed record:
+//
+//   magic (8 bytes, PNG-style: catches text-mode mangling and truncation)
+//   format version  u32
+//   section count   u32
+//   per section:  name length u32 | name | payload length u64 | payload |
+//                 CRC32(name + payload) u32
+//
+// All integers are little-endian; doubles are IEEE-754 bit patterns, so a
+// round trip is bit-exact and restored models predict byte-identically.
+//
+// The loading side is built to fail closed: every malformed input —
+// truncation, bit flips, bad magic, future versions, checksum mismatches,
+// implausible lengths — raises a typed PersistError instead of crashing,
+// invoking UB, or silently yielding a wrong artifact. Untrusted lengths
+// are capped against the bytes that actually remain before any allocation,
+// so a corrupted count cannot drive an out-of-memory.
+
+#ifndef MSPRINT_SRC_PERSIST_PERSIST_H_
+#define MSPRINT_SRC_PERSIST_PERSIST_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace msprint {
+namespace persist {
+
+// Current version of the record container format. Readers accept versions
+// up to their own and reject anything newer with kUnsupportedVersion;
+// incompatible layout changes must bump this.
+inline constexpr uint32_t kFormatVersion = 1;
+
+enum class ErrorCode {
+  kIo,                  // file missing/unreadable/unwritable
+  kBadMagic,            // not a msprint record at all
+  kUnsupportedVersion,  // written by a future format version
+  kTruncated,           // ran out of bytes mid-structure
+  kChecksumMismatch,    // a section's CRC32 does not match its payload
+  kFormat,              // structurally well-formed bytes, invalid content
+  kMissingSection,      // a required section is absent
+};
+
+std::string ToString(ErrorCode code);
+
+// The one exception type every loading path converges to.
+class PersistError : public std::runtime_error {
+ public:
+  PersistError(ErrorCode code, const std::string& message)
+      : std::runtime_error(ToString(code) + ": " + message), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// ------------------------------------------------------ payload primitives
+
+// Appends little-endian primitives to a byte buffer. The Writer/Reader
+// pair defines the payload wire format shared by every persisted artifact.
+class Writer {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutF64(double v);  // IEEE-754 bit pattern: round trips are bit-exact
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutString(std::string_view s);  // u64 length + bytes
+  void PutDoubles(const std::vector<double>& v);  // u64 count + f64s
+  // Appends bytes verbatim (no length prefix) — container plumbing.
+  void PutRaw(std::string_view bytes) { bytes_.append(bytes); }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+// Bounds-checked decoder over a byte view (non-owning: the backing bytes
+// must outlive the Reader). Every read that would pass the end throws
+// PersistError(kTruncated).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64();
+  double GetF64();
+  // GetF64 that rejects NaN/inf with kFormat; `what` names the field.
+  double GetFiniteF64(const char* what);
+  // Strict bool: any byte other than 0/1 is kFormat.
+  bool GetBool();
+  std::string GetString();
+  // require_finite=true (the default) rejects NaN/inf elements.
+  std::vector<double> GetDoubles(bool require_finite = true);
+  // Reads a u64 element count for a sequence whose elements occupy at
+  // least `min_bytes_per_item` bytes each, and rejects counts that imply
+  // more bytes than remain — before anything is allocated.
+  uint64_t GetCount(size_t min_bytes_per_item, const char* what);
+  // Takes `n` bytes verbatim; throws kTruncated if fewer remain. The view
+  // aliases the backing bytes.
+  std::string_view GetRaw(size_t n);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  // Throws kFormat when unconsumed bytes remain (trailing garbage).
+  void ExpectEnd() const;
+
+ private:
+  std::string_view Take(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- record container
+
+class RecordWriter {
+ public:
+  void AddSection(std::string name, std::string payload);
+  // Serializes magic + version + checksummed sections into file bytes.
+  std::string Seal(uint32_t version = kFormatVersion) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class RecordReader {
+ public:
+  // Parses `bytes`, validating magic, version (≤ max_version), every
+  // length, every section checksum, and the absence of trailing bytes.
+  // Throws PersistError on any violation.
+  static RecordReader Parse(std::string bytes,
+                            uint32_t max_version = kFormatVersion);
+
+  uint32_t version() const { return version_; }
+  bool Has(std::string_view name) const;
+  // Returns the named section's payload; throws kMissingSection if absent.
+  const std::string& Section(std::string_view name) const;
+
+ private:
+  uint32_t version_ = 0;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// ---------------------------------------------------------- durable files
+
+// Seals `record` and writes it via the atomic tmp+flush+rename protocol
+// (src/common/fileio.h). IO failures surface as PersistError(kIo) and
+// leave any previous file at `path` intact.
+void WriteRecordToFile(const std::string& path, const RecordWriter& record,
+                       uint32_t version = kFormatVersion);
+
+// Reads and verifies a record file. Missing/unreadable files are kIo;
+// malformed contents raise the corresponding typed error.
+RecordReader ReadRecordFromFile(const std::string& path,
+                                uint32_t max_version = kFormatVersion);
+
+}  // namespace persist
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_PERSIST_PERSIST_H_

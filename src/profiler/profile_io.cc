@@ -1,9 +1,14 @@
 #include "src/profiler/profile_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/common/checksum.h"
+#include "src/common/fileio.h"
 
 namespace msprint {
 
@@ -11,6 +16,10 @@ namespace {
 
 constexpr char kMagic[] = "msprint-profile";
 constexpr char kVersion[] = "v1";
+// Optional trailing integrity line: "checksum <8 hex digits>" over every
+// byte that precedes it. v1 files written before the line existed still
+// load; when the line is present it must match.
+constexpr char kChecksumPrefix[] = "checksum ";
 
 void Expect(std::istream& is, const std::string& token) {
   std::string word;
@@ -20,21 +29,46 @@ void Expect(std::istream& is, const std::string& token) {
   }
 }
 
+std::string FormatCrc32(uint32_t crc) {
+  std::ostringstream hex;
+  hex << std::hex << std::setfill('0') << std::setw(8) << crc;
+  return hex.str();
+}
+
 }  // namespace
 
 std::vector<double> LoadArrivalTrace(std::istream& is) {
   std::vector<double> trace;
   std::string line;
+  size_t line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
+    const std::string at = "arrival trace line " +
+                           std::to_string(line_number) + ": ";
     // Trim leading whitespace.
     const size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') {
       continue;
     }
     size_t consumed = 0;
-    const double value = std::stod(line.substr(first), &consumed);
+    double value = 0.0;
+    try {
+      value = std::stod(line.substr(first), &consumed);
+    } catch (const std::exception&) {
+      throw std::runtime_error(at + "not a number: '" + line + "'");
+    }
+    // Anything after the number may only be whitespace.
+    if (line.find_first_not_of(" \t\r", first + consumed) !=
+        std::string::npos) {
+      throw std::runtime_error(at + "trailing garbage: '" + line + "'");
+    }
+    if (!std::isfinite(value)) {
+      throw std::runtime_error(at + "timestamp must be finite");
+    }
     if (!trace.empty() && value < trace.back()) {
-      throw std::runtime_error("arrival trace must be ascending");
+      throw std::runtime_error(at + "timestamps must be ascending (" +
+                               std::to_string(value) + " after " +
+                               std::to_string(trace.back()) + ")");
     }
     trace.push_back(value);
   }
@@ -84,7 +118,10 @@ DistributionKind ParseDistributionKind(const std::string& name) {
   throw std::runtime_error("unknown distribution kind: " + name);
 }
 
-void SaveProfile(const WorkloadProfile& profile, std::ostream& os) {
+namespace {
+
+// Writes the v1 body — everything the trailing checksum line covers.
+void SaveProfileBody(const WorkloadProfile& profile, std::ostream& os) {
   os << kMagic << " " << kVersion << "\n";
   os << std::setprecision(17);
   os << "meta " << profile.service_rate_per_second << " "
@@ -117,16 +154,31 @@ void SaveProfile(const WorkloadProfile& profile, std::ostream& os) {
   }
 }
 
-void SaveProfileToFile(const WorkloadProfile& profile,
-                       const std::string& path) {
-  std::ofstream file(path);
-  if (!file) {
-    throw std::runtime_error("cannot open for writing: " + path);
+}  // namespace
+
+void SaveProfile(const WorkloadProfile& profile, std::ostream& os) {
+  std::ostringstream body;
+  SaveProfileBody(profile, body);
+  const std::string text = body.str();
+  os << text << kChecksumPrefix << FormatCrc32(Crc32(text)) << "\n";
+  if (!os) {
+    throw std::runtime_error("failed writing profile");
   }
-  SaveProfile(profile, file);
 }
 
-WorkloadProfile LoadProfile(std::istream& is) {
+// Profiles encode hours of virtual server time; losing one to a crash
+// mid-write is expensive. Write through the atomic tmp+flush+rename
+// protocol so the previous profile survives any failure.
+void SaveProfileToFile(const WorkloadProfile& profile,
+                       const std::string& path) {
+  std::ostringstream out;
+  SaveProfile(profile, out);
+  AtomicWriteFile(path, out.str());
+}
+
+namespace {
+
+WorkloadProfile ParseProfileBody(std::istream& is) {
   Expect(is, kMagic);
   Expect(is, kVersion);
 
@@ -194,6 +246,34 @@ WorkloadProfile LoadProfile(std::istream& is) {
     row.arrival_kind = ParseDistributionKind(kind_name);
   }
   return profile;
+}
+
+}  // namespace
+
+WorkloadProfile LoadProfile(std::istream& is) {
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  // Verify the trailing integrity line when present; v1 files written
+  // before the line existed load unchanged.
+  const std::string needle = std::string("\n") + kChecksumPrefix;
+  const size_t marker = text.rfind(needle);
+  if (marker != std::string::npos) {
+    const std::string body = text.substr(0, marker + 1);
+    std::string stored = text.substr(marker + needle.size());
+    while (!stored.empty() &&
+           (stored.back() == '\n' || stored.back() == '\r')) {
+      stored.pop_back();
+    }
+    const std::string computed = FormatCrc32(Crc32(body));
+    if (stored != computed) {
+      throw std::runtime_error("profile checksum mismatch: file says '" +
+                               stored + "', contents hash to '" + computed +
+                               "'");
+    }
+    text = body;
+  }
+  std::istringstream body_stream(text);
+  return ParseProfileBody(body_stream);
 }
 
 WorkloadProfile LoadProfileFromFile(const std::string& path) {

@@ -86,4 +86,31 @@ void SprintBudget::Reset(double now) {
   total_consumed_ = 0.0;
 }
 
+void SprintBudget::Serialize(persist::Writer& w) const {
+  w.PutF64(capacity_);
+  w.PutF64(refill_rate_);
+  w.PutF64(level_);
+  w.PutF64(last_update_);
+  w.PutU64(time_regressions_);
+  w.PutF64(total_consumed_);
+}
+
+SprintBudget SprintBudget::Deserialize(persist::Reader& r) {
+  SprintBudget budget;
+  budget.capacity_ = r.GetFiniteF64("budget capacity");
+  budget.refill_rate_ = r.GetFiniteF64("budget refill rate");
+  // level_ may legitimately be negative (ConsumeAllowingDebt), but never
+  // non-finite.
+  budget.level_ = r.GetFiniteF64("budget level");
+  budget.last_update_ = r.GetFiniteF64("budget clock watermark");
+  budget.time_regressions_ = static_cast<size_t>(r.GetU64());
+  budget.total_consumed_ = r.GetFiniteF64("budget total consumed");
+  if (budget.capacity_ < 0.0 || budget.refill_rate_ < 0.0 ||
+      budget.level_ > budget.capacity_ || budget.total_consumed_ < 0.0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "inconsistent budget state");
+  }
+  return budget;
+}
+
 }  // namespace msprint

@@ -14,6 +14,8 @@
 
 #include <stdexcept>
 
+#include "src/persist/persist.h"
+
 namespace msprint {
 
 class SprintBudget {
@@ -62,7 +64,15 @@ class SprintBudget {
 
   void Reset(double now);
 
+  // Snapshot/warm-restore of the full accrual state: the token level, the
+  // monotonic-clock watermark and the refill rate are stored as exact bit
+  // patterns (the rate is NOT recomputed from capacity/refill on load), so
+  // a restored bucket accrues bit-identically to the uninterrupted one.
+  void Serialize(persist::Writer& w) const;
+  static SprintBudget Deserialize(persist::Reader& r);
+
  private:
+  SprintBudget() = default;  // Deserialize fills every field
   // Clamps `now` to the non-decreasing contract and accrues credits.
   void Advance(double now) const;
 

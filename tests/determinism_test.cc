@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/core/models.h"
 #include "src/explore/explorer.h"
 #include "src/fault/fault.h"
+#include "src/ml/linear_regression.h"
 #include "src/ml/random_forest.h"
 #include "src/online/advisor.h"
+#include "src/persist/persist.h"
 #include "src/sim/queue_simulator.h"
 #include "src/testbed/testbed.h"
 
@@ -292,6 +295,177 @@ TEST(DeterminismTest, AdvisorRecommendationsIdenticalForAnyPoolSize) {
                 reference[i].predicted_response_time);
       EXPECT_EQ(result[i].revision, reference[i].revision);
       EXPECT_EQ(result[i].rung, reference[i].rung);
+    }
+  }
+}
+
+// ------------------------------------------------------- persistence
+//
+// Checkpoint/restore rides on the same invariant as the pool-size tests:
+// restored artifacts must be bit-identical, so a warm-restarted run is
+// indistinguishable from one that never stopped.
+
+WorkloadProfile CalibratedProfile() {
+  WorkloadProfile profile = DummyProfile();
+  for (int i = 0; i < 24; ++i) {
+    ProfileRow row;
+    row.utilization = 0.3 + 0.02 * i;
+    row.arrival_kind = DistributionKind::kExponential;
+    row.timeout_seconds = 40.0 + 10.0 * i;
+    row.refill_seconds = 3600.0;
+    row.budget_fraction = 0.2;
+    row.observed_mean_response_time = 120.0 + 2.0 * i;
+    row.observed_median_response_time = 100.0 + 2.0 * i;
+    row.fraction_sprinted = 0.4;
+    row.fraction_timed_out = 0.2;
+    row.run_virtual_seconds = 50000.0;
+    row.effective_speedup = 1.1 + 0.01 * i;
+    profile.rows.push_back(row);
+  }
+  return profile;
+}
+
+TEST(DeterminismTest, SerializedForestPredictsByteIdentically) {
+  const Dataset train = NoisyStepData(400, 21);
+  RandomForestConfig config;
+  config.num_trees = 16;
+  config.anchor_feature = 1;
+  config.seed = 77;
+  const RandomForest forest = RandomForest::Fit(train, config);
+
+  persist::Writer w;
+  forest.Serialize(w);
+  persist::Reader r(w.bytes());
+  const RandomForest restored =
+      RandomForest::Deserialize(r, train.feature_names().size());
+  r.ExpectEnd();
+
+  ASSERT_EQ(restored.TreeCount(), forest.TreeCount());
+  for (const auto& probe : std::vector<std::vector<double>>{
+           {1.0, 0.5}, {4.9, 3.0}, {5.1, 1.0}, {9.0, 2.5}}) {
+    const auto expected = forest.PredictPerTree(probe);
+    const auto got = restored.PredictPerTree(probe);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t t = 0; t < got.size(); ++t) {
+      EXPECT_EQ(got[t], expected[t]) << "tree " << t;
+    }
+  }
+}
+
+TEST(DeterminismTest, SerializedLinearRegressionIsBitExact) {
+  const Dataset train = NoisyStepData(100, 3);
+  const LinearRegression fit = LinearRegression::Fit(train);
+
+  persist::Writer w;
+  fit.Serialize(w);
+  persist::Reader r(w.bytes());
+  const LinearRegression restored = LinearRegression::Deserialize(r);
+  r.ExpectEnd();
+
+  ASSERT_EQ(restored.coefficients().size(), fit.coefficients().size());
+  for (size_t i = 0; i < fit.coefficients().size(); ++i) {
+    EXPECT_EQ(restored.coefficients()[i], fit.coefficients()[i]);
+  }
+  EXPECT_EQ(restored.intercept(), fit.intercept());
+  EXPECT_EQ(restored.Predict({2.5, 1.25}), fit.Predict({2.5, 1.25}));
+}
+
+TEST(DeterminismTest, SerializedHybridAndAnnPredictByteIdentically) {
+  const WorkloadProfile profile = CalibratedProfile();
+
+  const HybridModel hybrid = HybridModel::Train({&profile});
+  persist::Writer hybrid_w;
+  hybrid.Serialize(hybrid_w);
+  persist::Reader hybrid_r(hybrid_w.bytes());
+  const HybridModel hybrid2 = HybridModel::Deserialize(hybrid_r);
+  hybrid_r.ExpectEnd();
+
+  NeuralNetConfig net;
+  net.hidden_layers = {8, 8};
+  net.epochs = 40;
+  const AnnDirectModel ann = AnnDirectModel::Train({&profile}, net);
+  persist::Writer ann_w;
+  ann.Serialize(ann_w);
+  persist::Reader ann_r(ann_w.bytes());
+  const AnnDirectModel ann2 = AnnDirectModel::Deserialize(ann_r);
+  ann_r.ExpectEnd();
+
+  for (const ProfileRow& row : profile.rows) {
+    const ModelInput input = ModelInput::FromRow(row);
+    EXPECT_EQ(hybrid2.PredictEffectiveRateQph(profile, input),
+              hybrid.PredictEffectiveRateQph(profile, input));
+    EXPECT_EQ(hybrid2.PredictResponseTime(profile, input),
+              hybrid.PredictResponseTime(profile, input));
+    EXPECT_EQ(ann2.PredictResponseTime(profile, input),
+              ann.PredictResponseTime(profile, input));
+  }
+}
+
+TEST(DeterminismTest, WarmRestartedAdvisorMatchesUninterruptedRun) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+
+  // One deterministic drive step: pure function of (advisor state, i).
+  auto step = [](OnlineAdvisor& advisor, int i, double& t,
+                 std::vector<Recommendation>& out) {
+    t += i < 60 ? 20.0 : 5.0;  // load shift halfway through
+    advisor.OnArrival(t);
+    const auto rec = advisor.Recommend(t);
+    if (rec.has_value()) {
+      out.push_back(*rec);
+      advisor.OnObservedResponseTime(t, 4.0 * rec->predicted_response_time);
+    }
+  };
+
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    AdvisorConfig config;
+    config.rate_window_seconds = 400.0;
+    config.explore.max_iterations = 160;
+    config.explore.num_chains = 4;
+    config.explore.seed = 5;
+    config.pool = &pool;
+    config.fallback_sim = {600, 60, 1, 97};
+    config.health_window_count = 12;
+    config.health_min_observations = 6;
+
+    // The uninterrupted reference run.
+    OnlineAdvisor uninterrupted(model, profile, config);
+    std::vector<Recommendation> expected;
+    double t = 0.0;
+    for (int i = 0; i < 120; ++i) {
+      step(uninterrupted, i, t, expected);
+    }
+    ASSERT_FALSE(expected.empty());
+
+    // The same run interrupted at step 60: snapshot, restore into a fresh
+    // advisor, continue. The combined stream must match bit for bit —
+    // including the post-restore rung/backoff behaviour.
+    OnlineAdvisor before(model, profile, config);
+    std::vector<Recommendation> got;
+    t = 0.0;
+    for (int i = 0; i < 60; ++i) {
+      step(before, i, t, got);
+    }
+    persist::Writer snapshot;
+    before.SaveState(snapshot);
+
+    OnlineAdvisor resumed(model, profile, config);
+    persist::Reader r(snapshot.bytes());
+    resumed.RestoreState(r);
+    for (int i = 60; i < 120; ++i) {
+      step(resumed, i, t, got);
+    }
+
+    ASSERT_EQ(got.size(), expected.size())
+        << "restored advisor diverged at pool size " << pool_size;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].timeout_seconds, expected[i].timeout_seconds);
+      EXPECT_EQ(got[i].predicted_response_time,
+                expected[i].predicted_response_time);
+      EXPECT_EQ(got[i].at_utilization, expected[i].at_utilization);
+      EXPECT_EQ(got[i].revision, expected[i].revision);
+      EXPECT_EQ(got[i].rung, expected[i].rung);
     }
   }
 }

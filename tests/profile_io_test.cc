@@ -104,6 +104,69 @@ TEST(ProfileIoTest, LoadedProfileTrainsModel) {
   EXPECT_GT(model.PredictEffectiveRateQph(loaded, input), 0.0);
 }
 
+TEST(ProfileIoTest, WritesAndVerifiesTrailingChecksum) {
+  const WorkloadProfile original = SampleProfile();
+  std::stringstream stream;
+  SaveProfile(original, stream);
+  const std::string text = stream.str();
+
+  // The file ends with the integrity line.
+  const size_t marker = text.rfind("\nchecksum ");
+  ASSERT_NE(marker, std::string::npos);
+  ASSERT_EQ(text.back(), '\n');
+
+  // Any flipped body byte is caught by the checksum before parsing.
+  std::string corrupted = text;
+  corrupted[marker / 2] ^= 0x01;
+  std::stringstream corrupted_stream(corrupted);
+  try {
+    LoadProfile(corrupted_stream);
+    FAIL() << "corrupted profile loaded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"),
+              std::string::npos);
+  }
+
+  // A tampered checksum line is equally fatal.
+  std::string bad_sum = text;
+  bad_sum[text.size() - 2] = bad_sum[text.size() - 2] == '0' ? '1' : '0';
+  std::stringstream bad_sum_stream(bad_sum);
+  EXPECT_THROW(LoadProfile(bad_sum_stream), std::runtime_error);
+}
+
+TEST(ProfileIoTest, LegacyFileWithoutChecksumStillLoads) {
+  // Files written before the integrity line existed have no checksum;
+  // they must keep loading unchanged.
+  const WorkloadProfile original = SampleProfile();
+  std::stringstream stream;
+  SaveProfile(original, stream);
+  std::string text = stream.str();
+  const size_t marker = text.rfind("\nchecksum ");
+  ASSERT_NE(marker, std::string::npos);
+  text.resize(marker + 1);  // drop the integrity line entirely
+
+  std::stringstream legacy(text);
+  const WorkloadProfile loaded = LoadProfile(legacy);
+  EXPECT_EQ(loaded.rows.size(), original.rows.size());
+  EXPECT_DOUBLE_EQ(loaded.service_rate_per_second,
+                   original.service_rate_per_second);
+}
+
+TEST(ProfileIoTest, SaveToFileLeavesNoTmpAndSurvivesStaleTmp) {
+  const WorkloadProfile original = SampleProfile();
+  const std::string path = "/tmp/msprint_profile_atomic_test.prof";
+  {
+    // A dead writer's leftover must not break the next save.
+    std::ofstream tmp(path + ".tmp");
+    tmp << "torn half-profile";
+  }
+  SaveProfileToFile(original, path);
+  const WorkloadProfile loaded = LoadProfileFromFile(path);
+  EXPECT_EQ(loaded.rows.size(), original.rows.size());
+  std::ifstream leftover(path + ".tmp");
+  EXPECT_FALSE(leftover.good()) << "tmp file survived the rename";
+}
+
 TEST(ProfileIoTest, RejectsWrongMagic) {
   std::stringstream stream("not-a-profile v1\n");
   EXPECT_THROW(LoadProfile(stream), std::runtime_error);
@@ -159,6 +222,26 @@ TEST(TraceIoTest, RejectsDescendingAndEmpty) {
   EXPECT_THROW(LoadArrivalTrace(descending), std::runtime_error);
   std::stringstream empty("# nothing here\n");
   EXPECT_THROW(LoadArrivalTrace(empty), std::runtime_error);
+}
+
+TEST(TraceIoTest, ErrorsNameTheOffendingLine) {
+  auto error_for = [](const std::string& text) -> std::string {
+    std::stringstream stream(text);
+    try {
+      LoadArrivalTrace(stream);
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    return "";
+  };
+  // Line numbers count every line, comments and blanks included.
+  EXPECT_NE(error_for("# header\n1.0\n\nbogus\n").find("line 4"),
+            std::string::npos);
+  EXPECT_NE(error_for("1.0\n2.0 trailing\n").find("trailing garbage"),
+            std::string::npos);
+  EXPECT_NE(error_for("1.0\ninf\n").find("finite"), std::string::npos);
+  EXPECT_NE(error_for("5.0\n4.0\n").find("ascending"), std::string::npos);
+  EXPECT_NE(error_for("5.0\n4.0\n").find("line 2"), std::string::npos);
 }
 
 TEST(TraceIoTest, FileRoundTrip) {

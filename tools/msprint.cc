@@ -26,7 +26,20 @@
 //       fault trace plus run statistics. The trace is byte-stable: two
 //       invocations with the same flags print identical traces, so replays
 //       can be diffed (see README).
+//
+//   msprint checkpoint --profile jacobi.cal.prof --out run.ckpt
+//       [--steps N --seed S --budget B --refill R]
+//       Train the hybrid model, drive the online advisor N deterministic
+//       steps (one line per step on stdout), and save a crash-safe
+//       checkpoint of the model, advisor and budget state.
+//
+//   msprint restore --checkpoint run.ckpt [--steps N --out next.ckpt]
+//       Warm-restart the advisor from a checkpoint and continue the drive.
+//       The step lines are byte-identical to an uninterrupted run: diff
+//       `tail -n N` of the long run against the restored run to audit.
 
+#include <cmath>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <string>
@@ -37,11 +50,60 @@
 #include "src/core/analytic_model.h"
 #include "src/core/effective_rate.h"
 #include "src/explore/explorer.h"
+#include "src/online/advisor.h"
+#include "src/persist/checkpoint.h"
 #include "src/profiler/profile_io.h"
 #include "src/testbed/testbed.h"
 
 namespace msprint {
 namespace {
+
+// A malformed flag value. Printed as `flag <name>: <reason>` with exit
+// code 2 (usage error), distinct from runtime failures (exit 1).
+class FlagError : public std::runtime_error {
+ public:
+  FlagError(const std::string& name, const std::string& reason)
+      : std::runtime_error("flag " + name + ": " + reason) {}
+};
+
+// Strict numeric parsing: the whole value must be one finite number.
+// std::stod alone accepts "0.75abc" and stoul silently wraps "-3" to a
+// huge size_t — both have bitten real invocations.
+double ParseDoubleFlag(const std::string& name, const std::string& text) {
+  size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw FlagError(name, "expected a number, got '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    throw FlagError(name, "trailing garbage in '" + text + "'");
+  }
+  if (!std::isfinite(value)) {
+    throw FlagError(name, "must be finite, got '" + text + "'");
+  }
+  return value;
+}
+
+size_t ParseSizeFlag(const std::string& name, const std::string& text) {
+  if (text.empty()) {
+    throw FlagError(name, "empty value");
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw FlagError(name,
+                      "expected a non-negative integer, got '" + text + "'");
+    }
+  }
+  try {
+    size_t consumed = 0;
+    const unsigned long long value = std::stoull(text, &consumed);
+    return static_cast<size_t>(value);
+  } catch (const std::exception&) {
+    throw FlagError(name, "out of range: '" + text + "'");
+  }
+}
 
 class Flags {
  public:
@@ -53,7 +115,7 @@ class Flags {
       }
       arg = arg.substr(2);
       if (i + 1 >= argc) {
-        throw std::runtime_error("missing value for --" + arg);
+        throw FlagError(arg, "missing value");
       }
       values_[arg] = argv[++i];
     }
@@ -62,7 +124,7 @@ class Flags {
   std::string GetString(const std::string& name) const {
     const auto it = values_.find(name);
     if (it == values_.end()) {
-      throw std::runtime_error("missing required flag --" + name);
+      throw FlagError(name, "required flag is missing");
     }
     return it->second;
   }
@@ -74,18 +136,18 @@ class Flags {
   }
 
   double GetDouble(const std::string& name) const {
-    return std::stod(GetString(name));
+    return ParseDoubleFlag(name, GetString(name));
   }
 
   double GetDouble(const std::string& name, double fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback
+                               : ParseDoubleFlag(name, it->second);
   }
 
   size_t GetSize(const std::string& name, size_t fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback
-                               : static_cast<size_t>(std::stoul(it->second));
+    return it == values_.end() ? fallback : ParseSizeFlag(name, it->second);
   }
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
@@ -330,6 +392,121 @@ int CmdFaults(const Flags& flags) {
   return 0;
 }
 
+// ------------------------------------------------- checkpoint / restore
+
+// One step of the deterministic advisor drive. Every random draw comes
+// from Rng(DeriveSeed(state.seed, state.step)) — a pure function of the
+// drive cursor — so a run that was checkpointed and restored replays the
+// exact event sequence an uninterrupted run would have seen. Step lines go
+// to stdout at full precision (setprecision 17) so resumed output can be
+// byte-diffed against the tail of an uninterrupted run; all narration goes
+// to stderr.
+void DriveStep(OnlineAdvisor& advisor, SprintBudget& budget,
+               persist::DriveState& state) {
+  Rng rng(DeriveSeed(state.seed, state.step));
+  const double dt = 2.0 + 8.0 * rng.NextDouble();
+  state.clock_seconds += dt;
+  advisor.OnArrival(state.clock_seconds);
+  const double service_seconds = 30.0 + 20.0 * rng.NextDouble();
+  advisor.OnCompletion(state.clock_seconds, service_seconds);
+
+  const auto rec = advisor.Recommend(state.clock_seconds);
+  if (rec.has_value()) {
+    // Feed the watchdog a noisy observation around the prediction and
+    // debit the sprint budget, so both subsystems carry live state into
+    // the checkpoint.
+    advisor.OnObservedResponseTime(
+        state.clock_seconds,
+        rec->predicted_response_time * (0.8 + 0.4 * rng.NextDouble()));
+    budget.ConsumeUpTo(state.clock_seconds, 0.1 * service_seconds);
+  }
+
+  std::cout << "step " << state.step << " t=" << state.clock_seconds
+            << " rate=" << advisor.EstimatedArrivalRate(state.clock_seconds)
+            << " budget=" << budget.Available(state.clock_seconds);
+  if (rec.has_value()) {
+    std::cout << " rung=" << ToString(rec->rung) << " rev=" << rec->revision
+              << " timeout=" << rec->timeout_seconds
+              << " predicted=" << rec->predicted_response_time;
+  } else {
+    std::cout << " rung=- rev=- timeout=- predicted=-";
+  }
+  std::cout << "\n";
+  ++state.step;
+}
+
+persist::DriveState DriveSteps(OnlineAdvisor& advisor, SprintBudget& budget,
+                               persist::DriveState state, size_t steps) {
+  std::cout << std::setprecision(17);
+  for (size_t i = 0; i < steps; ++i) {
+    DriveStep(advisor, budget, state);
+  }
+  return state;
+}
+
+AdvisorConfig AdvisorConfigFromFlags(const Flags& flags) {
+  AdvisorConfig config;
+  config.base.budget_fraction = flags.GetDouble("budget", 0.2);
+  config.base.refill_seconds = flags.GetDouble("refill", 200.0);
+  config.base.arrival_kind =
+      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+  config.explore.max_iterations = flags.GetSize("iterations", 80);
+  config.explore.num_chains = flags.GetSize("chains", 1);
+  config.rate_window_seconds = flags.GetDouble("rate-window", 600.0);
+  // Re-plans happen on the live path of the drive; keep them cheap.
+  const size_t sim_queries = flags.GetSize("sim-queries", 2000);
+  config.fallback_sim =
+      PredictionSimConfig{sim_queries, sim_queries / 10, 1, 97};
+  return config;
+}
+
+int CmdCheckpoint(const Flags& flags) {
+  const WorkloadProfile profile =
+      LoadProfileFromFile(flags.GetString("profile"));
+  const std::string out = flags.GetString("out");
+
+  const AdvisorConfig config = AdvisorConfigFromFlags(flags);
+  std::cerr << "training hybrid model on " << profile.rows.size()
+            << " rows...\n";
+  const HybridModel model =
+      HybridModel::Train({&profile}, {}, config.fallback_sim);
+  OnlineAdvisor advisor(model, profile, config);
+  SprintBudget budget = SprintBudget::FromFraction(
+      config.base.budget_fraction, config.base.refill_seconds);
+
+  persist::DriveState state;
+  state.seed = flags.GetSize("seed", 1);
+  state = DriveSteps(advisor, budget, state, flags.GetSize("steps", 40));
+
+  persist::SaveCheckpointToFile(out, profile, model, config, advisor, budget,
+                                state);
+  std::cerr << "checkpoint saved to " << out << " at step " << state.step
+            << " (rung " << ToString(advisor.rung()) << ")\n";
+  return 0;
+}
+
+int CmdRestore(const Flags& flags) {
+  persist::LoadedCheckpoint checkpoint =
+      persist::LoadCheckpointFromFile(flags.GetString("checkpoint"));
+  OnlineAdvisor advisor(checkpoint.model, checkpoint.profile,
+                        checkpoint.config);
+  persist::RestoreAdvisorState(advisor, checkpoint.advisor_state);
+  std::cerr << "restored checkpoint at step " << checkpoint.drive.step
+            << " (rung " << ToString(advisor.rung()) << ")\n";
+
+  const persist::DriveState state =
+      DriveSteps(advisor, checkpoint.budget, checkpoint.drive,
+                 flags.GetSize("steps", 40));
+  if (flags.Has("out")) {
+    persist::SaveCheckpointToFile(flags.GetString("out"), checkpoint.profile,
+                                  checkpoint.model, checkpoint.config,
+                                  advisor, checkpoint.budget, state);
+    std::cerr << "checkpoint saved to " << flags.GetString("out")
+              << " at step " << state.step << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cout <<
       "usage: msprint <command> [--flags]\n"
@@ -345,7 +522,11 @@ int Usage() {
       "            --refill R]   (what-if on a recorded arrival trace)\n"
       "  faults    [--workload W --seed N --toggle-fail P --breaker-trips R\n"
       "            --breaker-cooldown S --outliers P --flash-crowds R ...]\n"
-      "            (deterministic fault-storm run; prints the fault trace)\n";
+      "            (deterministic fault-storm run; prints the fault trace)\n"
+      "  checkpoint --profile F --out F [--steps N --seed S --budget B\n"
+      "            --refill R]   (drive the advisor, save a checkpoint)\n"
+      "  restore   --checkpoint F [--steps N --out F]\n"
+      "            (warm-restart the advisor and continue the drive)\n";
   return 2;
 }
 
@@ -386,8 +567,18 @@ int main(int argc, char** argv) {
     if (command == "faults") {
       return CmdFaults(flags);
     }
+    if (command == "checkpoint") {
+      return CmdCheckpoint(flags);
+    }
+    if (command == "restore") {
+      return CmdRestore(flags);
+    }
     std::cerr << "unknown command: " << command << "\n";
     return Usage();
+  } catch (const FlagError& error) {
+    // Bad invocation, not a runtime failure: usage exit code.
+    std::cerr << error.what() << "\n";
+    return 2;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
