@@ -49,6 +49,8 @@ int main() {
   const bench::PreparedWorkload& kmeans = prepared[1];
   const bench::PreparedWorkload& stream = prepared[2];
 
+  bench::BenchReport report("ablations");
+
   // 1. Forest size.
   PrintBanner(std::cout, "Ablation 1: forest size (median error)");
   {
@@ -59,7 +61,10 @@ int main() {
       for (size_t trees : {1ul, 5ul, 10ul, 50ul}) {
         RandomForestConfig config;
         config.num_trees = trees;
-        row.push_back(TextTable::Pct(EvalForest(p, config)));
+        const double error = EvalForest(p, config);
+        row.push_back(TextTable::Pct(error));
+        report.Scalar(p.label + "_error_" + std::to_string(trees) + "_trees",
+                      error);
       }
       table.AddRow(std::move(row));
     }
@@ -283,6 +288,10 @@ int main() {
               << "X with identical semantics (see sim_test conformance "
                  "suite); the paper's 1 us ticks would be 1000X slower "
                  "again\n";
+    report.Scalar("event_sim_seconds", event_seconds);
+    report.Scalar("tick_sim_seconds", tick_seconds);
+    report.Scalar("event_vs_tick_speedup", tick_seconds / event_seconds);
   }
+  report.Write();
   return 0;
 }

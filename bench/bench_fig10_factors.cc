@@ -93,5 +93,13 @@ int main() {
   cluster.Print(std::cout);
   std::cout << "out/in error ratio: " << TextTable::Num(out_median / in_median, 2)
             << "X  (paper: ~2.5X, out-of-centroid median ~10%)\n";
+
+  bench::BenchReport report("fig10_factors");
+  report.Scalar("in_centroid_median_error", in_median);
+  report.Scalar("out_centroid_median_error", out_median);
+  report.Scalar("out_in_error_ratio", out_median / in_median);
+  report.Scalar("hi_util_median_error", Median(by_util.hi));
+  report.Scalar("low_util_median_error", Median(by_util.low));
+  report.Write();
   return 0;
 }

@@ -55,7 +55,18 @@ int main() {
                    std::to_string(cores) + "-core pred/min", "scaling",
                    "CoV of prediction"});
 
-  for (size_t n : {1000ul, 10000ul, 100000ul, 1000000ul, 10000000ul}) {
+  // Fast mode stops before the two largest simulation sizes (1M and 10M
+  // queries/prediction) so CI finishes in seconds; the variance knee at
+  // 100K is still visible.
+  const bool fast = bench::BenchReport::FastMode();
+  std::vector<size_t> sizes = {1000, 10000, 100000, 1000000, 10000000};
+  if (fast) {
+    sizes.resize(3);
+  }
+
+  bench::BenchReport report("fig11_throughput");
+  report.Count("cores", cores);
+  for (size_t n : sizes) {
     // Single-core throughput: time a few sequential predictions.
     const size_t reps = n >= 1000000 ? 2 : 6;
     const auto t0 = Clock::now();
@@ -86,9 +97,16 @@ int main() {
                   TextTable::Num(multi_rate, 1),
                   TextTable::Num(multi_rate / single_rate, 2) + "X",
                   TextTable::Num(stats.cov() * 100.0, 2) + "%"});
+
+    const std::string size_key = std::to_string(n / 1000) + "k";
+    report.Scalar("pred_per_min_1core_" + size_key, single_rate);
+    report.Scalar("pred_per_min_multi_" + size_key, multi_rate);
+    report.Scalar("scaling_" + size_key, multi_rate / single_rate);
+    report.Scalar("cov_" + size_key, stats.cov());
   }
   table.Print(std::cout);
   std::cout << "\nPaper: ~100 predictions/min at 100K queries (variance "
                "knee); ~900/min for small sims; 11.4X scaling on 12 cores\n";
+  report.Write();
   return 0;
 }

@@ -234,5 +234,28 @@ int main() {
   std::cout << "\nPaper: under tight budgets loose timeouts win; under "
                "loose budgets strict timeouts win (Few-to-Many's "
                "intuition)\n";
+
+  bench::BenchReport report("fig12_policy_explore");
+  report.Scalar("jacobi_slo_seconds", jacobi_slo);
+  report.Scalar("jacobi_big_best_timeout",
+                jacobi_big.model_driven.best_timeout_seconds);
+  report.Scalar("jacobi_big_best_response_time",
+                jacobi_big.model_driven.best_response_time);
+  report.Scalar("jacobi_small_best_timeout",
+                jacobi_small.model_driven.best_timeout_seconds);
+  report.Scalar("jacobi_small_best_response_time",
+                jacobi_small.model_driven.best_response_time);
+  report.Scalar("jacobi_big_vs_adrenaline",
+                PredictAt(jacobi_big, jacobi_big.adrenaline_timeout) /
+                    jacobi_big.model_driven.best_response_time);
+  report.Scalar("jacobi_big_vs_few_to_many",
+                PredictAt(jacobi_big, jacobi_big.few_to_many_timeout) /
+                    jacobi_big.model_driven.best_response_time);
+  report.Scalar("mix_slo_seconds", mix_slo);
+  report.Scalar("mix_big_best_timeout",
+                mix_big.model_driven.best_timeout_seconds);
+  report.Scalar("mix_small_best_timeout",
+                mix_small.model_driven.best_timeout_seconds);
+  report.Write();
   return 0;
 }

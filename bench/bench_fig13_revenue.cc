@@ -37,6 +37,7 @@ int main() {
   }
   WorkloadModelBank bank(std::vector<WorkloadId>(used.begin(), used.end()));
 
+  BenchReport report("fig13_revenue");
   TextTable table({"Combo", "approach", "hosted", "revenue/h", "vs aws",
                    "cpu committed"});
   const std::vector<std::pair<std::string, std::vector<CloudWorkload>>>
@@ -44,7 +45,9 @@ int main() {
                 {"combo #2 (2x Stream@80%, 2x Jacobi@70%)", ComboTwo()},
                 {"combo #3 (Jacobi,Stream,BFS,KNN @50-80%)", ComboThree()}};
 
+  size_t combo_index = 0;
   for (const auto& [label, combo] : combos) {
+    ++combo_index;
     double aws_revenue = 0.0;
     for (Approach approach : {Approach::kAws, Approach::kModelDrivenBudgeting,
                               Approach::kModelDrivenSprinting}) {
@@ -54,6 +57,13 @@ int main() {
       }
       const double vs_aws =
           aws_revenue > 0.0 ? plan.revenue_per_hour / aws_revenue : 0.0;
+      report.Scalar("combo" + std::to_string(combo_index) + "_" +
+                        std::string(ToString(approach)) + "_revenue_per_hour",
+                    plan.revenue_per_hour);
+      if (approach == Approach::kModelDrivenSprinting) {
+        report.Scalar("combo" + std::to_string(combo_index) + "_vs_aws",
+                      vs_aws);
+      }
       table.AddRow({label, ToString(approach),
                     std::to_string(plan.admitted_count) + "/" +
                         std::to_string(combo.size()),
@@ -144,5 +154,10 @@ int main() {
   std::cout << "aws/model-driven tail ratio: "
             << TextTable::Num(ratio_335, 2) << "X at 335 s (paper 3.16X), "
             << TextTable::Num(ratio_521, 2) << "X at 521 s (paper 3.76X)\n";
+
+  report.Scalar("tail_best_timeout", best_timeout);
+  report.Scalar("tail_ratio_335s", ratio_335);
+  report.Scalar("tail_ratio_521s", ratio_521);
+  report.Write();
   return 0;
 }

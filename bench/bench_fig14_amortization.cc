@@ -94,5 +94,13 @@ int main() {
                                 hybrid_series.back().aws_revenue;
   std::cout << "lifetime (552 h) revenue ratio, hybrid vs aws: "
             << TextTable::Num(lifetime_ratio, 2) << "X (paper: 1.6X)\n";
+
+  BenchReport report("fig14_amortization");
+  report.Scalar("aws_rate_per_hour", aws_rate);
+  report.Scalar("model_rate_per_hour", model_rate);
+  report.Scalar("hybrid_payback_hours", hybrid_crossover);
+  report.Scalar("ann_payback_hours", ann_crossover);
+  report.Scalar("lifetime_revenue_ratio", lifetime_ratio);
+  report.Write();
   return 0;
 }

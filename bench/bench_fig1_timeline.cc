@@ -81,5 +81,12 @@ int main() {
   table.AddRow({"3 minutes", TextTable::Num(rt3, 1),
                 TextTable::Num(rt1 / rt3, 2) + "X"});
   table.Print(std::cout);
+
+  bench::BenchReport report("fig1_timeline");
+  report.Scalar("mean_response_1min", rt1);
+  report.Scalar("mean_response_2min", rt2);
+  report.Scalar("mean_response_3min", rt3);
+  report.Scalar("improvement_2min_vs_1min", rt1 / rt2);
+  report.Write();
   return 0;
 }

@@ -44,6 +44,7 @@ std::vector<double> HardwareErrors(MechanismId mechanism) {
 int main() {
   using namespace msprint;
 
+  bench::BenchReport report("fig8_workload_cdf");
   std::vector<std::pair<std::string, std::vector<double>>> hybrid_series;
   std::vector<std::pair<std::string, std::vector<double>>> ann_series;
   TextTable medians({"Workload", "Hybrid median err", "ANN median err"});
@@ -51,6 +52,8 @@ int main() {
     auto [hybrid_errors, ann_errors] = WorkloadErrors(wl);
     medians.AddRow({ToString(wl), TextTable::Pct(Median(hybrid_errors)),
                     TextTable::Pct(Median(ann_errors))});
+    report.Scalar(std::string(ToString(wl)) + "_hybrid_median_error",
+                  Median(hybrid_errors));
     hybrid_series.emplace_back(ToString(wl), std::move(hybrid_errors));
     ann_series.emplace_back(ToString(wl), std::move(ann_errors));
     std::cout << "  evaluated " << ToString(wl) << "\n";
@@ -71,6 +74,8 @@ int main() {
                                 MechanismId::kCoreScale}) {
     auto errors = HardwareErrors(mechanism);
     hw_medians.AddRow({ToString(mechanism), TextTable::Pct(Median(errors))});
+    report.Scalar(std::string(ToString(mechanism)) + "_hybrid_median_error",
+                  Median(errors));
     hw_series.emplace_back(ToString(mechanism), std::move(errors));
     std::cout << "  evaluated hardware " << ToString(mechanism) << "\n";
   }
@@ -81,5 +86,6 @@ int main() {
   hw_medians.Print(std::cout);
   std::cout << "\nPaper: DVFS/EC2DVFS median <4%; CoreScale ~8% with >60% "
                "of policies under 10% error\n";
+  report.Write();
   return 0;
 }

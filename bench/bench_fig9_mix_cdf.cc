@@ -51,5 +51,12 @@ int main() {
   medians.Print(std::cout);
   std::cout << "\nPaper: Mix I median 7% (75% of predictions <=15% error); "
                "Mix II median 10% (60% <=15%)\n";
+
+  bench::BenchReport report("fig9_mix_cdf");
+  report.Scalar("mix1_median_error", Median(mix1_errors));
+  report.Scalar("mix1_frac_under_15pct", cdf1.Probability(0.15));
+  report.Scalar("mix2_median_error", Median(mix2_errors));
+  report.Scalar("mix2_frac_under_15pct", cdf2.Probability(0.15));
+  report.Write();
   return 0;
 }

@@ -1,13 +1,24 @@
 // Google-benchmark microbenchmarks for the library's hot primitives: the
 // event-driven simulator (per-query cost), the Algorithm 1 tick loop, the
-// ground-truth testbed, random-forest fit/predict, ANN prediction and the
-// effective-rate calibration search.
+// ground-truth testbed, random-forest fit/predict, ANN prediction, the
+// effective-rate calibration search, and the observability layer's idle and
+// attached overhead (the CI obs job gates BM_ObsIdleHotPath against
+// BM_TestbedRun's per-query cost).
+//
+// The main runs the usual benchmark CLI, then writes BENCH_micro.json with
+// nanoseconds-per-iteration for every benchmark that ran, so the overhead
+// gate and cross-commit comparisons read one machine-parseable artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "src/core/effective_rate.h"
 #include "src/core/models.h"
 #include "src/ml/neural_net.h"
+#include "src/obs/obs.h"
 #include "src/sim/tick_simulator.h"
 #include "src/testbed/testbed.h"
 
@@ -117,6 +128,50 @@ void BM_NeuralNetPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_NeuralNetPredict);
 
+// One bundle of the idle instrumentation a single testbed query pays (queue
+// depth gauge, per-query counters, a latency observation, and two recorder
+// events) with NO ObsSession attached. Each helper must compile down to a
+// relaxed atomic load plus a never-taken branch; the CI obs job gates this
+// bundle below 2% of BM_TestbedRun's per-query cost.
+void BM_ObsIdleHotPath(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Count("testbed/queries");
+    obs::Count("testbed/sprinted");
+    obs::Count("testbed/timed_out");
+    obs::Observe("testbed/response_time_seconds", 1.25);
+    obs::Observe("testbed/queueing_delay_seconds", 0.25);
+    obs::Observe("testbed/processing_time_seconds", 1.0);
+    obs::SetGauge("testbed/queue_depth", 3.0);
+    obs::Emit(100.0, obs::EventKind::kQueueArrival, obs::Subsystem::kTestbed,
+              obs::Severity::kDebug, 7);
+    obs::Emit(101.25, obs::EventKind::kQueueDeparture,
+              obs::Subsystem::kTestbed, obs::Severity::kDebug, 7, 1.25);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsIdleHotPath);
+
+// The same testbed run as BM_TestbedRun but with a live metrics registry
+// and flight recorder attached — the enabled-mode cost of full
+// instrumentation, for comparison against the idle baseline.
+void BM_TestbedRunObserved(benchmark::State& state) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.mechanism = MechanismId::kDvfs;
+  config.utilization = 0.8;
+  config.num_queries = static_cast<size_t>(state.range(0));
+  config.warmup_queries = config.num_queries / 10;
+  config.seed = 3;
+  for (auto _ : state) {
+    obs::MetricsRegistry metrics;
+    obs::FlightRecorder recorder;
+    obs::ObsSession session(&metrics, &recorder);
+    benchmark::DoNotOptimize(Testbed::Run(config).mean_response_time);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TestbedRunObserved)->Arg(1000);
+
 void BM_CalibrationSearch(benchmark::State& state) {
   WorkloadProfile profile;
   profile.service_rate_per_second = 1.0 / 70.0;
@@ -143,7 +198,47 @@ void BM_CalibrationSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_CalibrationSearch);
 
+// Console reporter that also captures per-iteration timings so main can
+// write them to BENCH_micro.json after the run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0 ||
+          run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      captured_.emplace_back(run.benchmark_name(),
+                             run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& captured() const {
+    return captured_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> captured_;
+};
+
 }  // namespace
 }  // namespace msprint
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  msprint::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  msprint::bench::BenchReport report("micro");
+  for (const auto& [name, ns_per_iter] : reporter.captured()) {
+    report.Scalar(name + "_ns_per_iter", ns_per_iter);
+  }
+  report.Write();
+  return 0;
+}

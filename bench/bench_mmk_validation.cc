@@ -80,7 +80,8 @@ int main() {
         Simulate(det_service, rho, 1, 47 + static_cast<uint64_t>(rho * 10)));
   }
   table.Print(std::cout);
-  std::cout << "median error: " << TextTable::Pct(Median(errors))
+  const double median_error = Median(errors);
+  std::cout << "median error: " << TextTable::Pct(median_error)
             << " (paper: ~5%)\n";
 
   // G/G/1 heavy-tail sanity: no closed form, but Pareto arrivals must
@@ -103,5 +104,12 @@ int main() {
             << " s;  pareto arrivals: " << TextTable::Num(pareto_rt, 2)
             << " s (bursty arrivals queue "
             << TextTable::Num(pareto_rt / exp_rt, 1) << "X longer)\n";
+
+  bench::BenchReport report("mmk_validation");
+  report.Count("validation_cases", errors.size());
+  report.Scalar("median_error", median_error);
+  report.Scalar("max_error", *std::max_element(errors.begin(), errors.end()));
+  report.Scalar("pareto_vs_exponential_rt", pareto_rt / exp_rt);
+  report.Write();
   return 0;
 }

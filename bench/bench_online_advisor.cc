@@ -164,5 +164,13 @@ int main() {
   std::cout << "advisor vs static: "
             << TextTable::Num(static_rt / advisor_rt, 2)
             << "X (re-planned " << advisor.replan_count() << " times)\n";
+
+  bench::BenchReport report("online_advisor");
+  report.Scalar("static_timeout", static_timeout);
+  report.Scalar("static_day_mean_rt", static_rt);
+  report.Scalar("advisor_day_mean_rt", advisor_rt);
+  report.Scalar("advisor_vs_static", static_rt / advisor_rt);
+  report.Count("replans", advisor.replan_count());
+  report.Write();
   return 0;
 }

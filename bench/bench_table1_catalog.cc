@@ -36,7 +36,7 @@ void PrintHardware() {
   table.Print(std::cout);
 }
 
-void PrintWorkloads() {
+void PrintWorkloads(bench::BenchReport* report) {
   PrintBanner(std::cout,
               "Table 1(C): workloads — catalog vs measured on testbed "
               "(sustained / burst qph, DVFS)");
@@ -67,6 +67,9 @@ void PrintWorkloads() {
                   TextTable::Num(measured_sustained, 1) + " qph",
                   TextTable::Num(spec.burst_qph_dvfs, 0) + " qph",
                   TextTable::Num(measured_burst, 1) + " qph"});
+
+    report->Scalar(spec.name + "_sustained_qph", measured_sustained);
+    report->Scalar(spec.name + "_burst_qph", measured_burst);
   }
   table.Print(std::cout);
 }
@@ -75,8 +78,10 @@ void PrintWorkloads() {
 }  // namespace msprint
 
 int main() {
+  msprint::bench::BenchReport report("table1_catalog");
   msprint::PrintApproaches();
   msprint::PrintHardware();
-  msprint::PrintWorkloads();
+  msprint::PrintWorkloads(&report);
+  report.Write();
   return 0;
 }

@@ -1,10 +1,96 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <thread>
+
+#include "src/common/fileio.h"
+#include "src/obs/metrics.h"
 
 namespace msprint {
 namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  if (FastMode()) {
+    Count("fast_mode", 1);
+  }
+}
+
+void BenchReport::Scalar(const std::string& key, double value) {
+  entries_.emplace_back(key, obs::StableDouble(value));
+}
+
+void BenchReport::Count(const std::string& key, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  entries_.emplace_back(key, buf);
+}
+
+void BenchReport::Text(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  quoted.append(JsonEscape(value));
+  quoted.push_back('"');
+  entries_.emplace_back(key, std::move(quoted));
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"bench\":\"" + JsonEscape(name_) + "\",\"metrics\":{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out.push_back('"');
+    out.append(JsonEscape(entries_[i].first));
+    out.append("\":");
+    out.append(entries_[i].second);
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string BenchReport::Write() const {
+  const char* dir = std::getenv("MSPRINT_BENCH_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  AtomicWriteFile(path, ToJson());
+  std::cerr << "bench report: " << path << "\n";
+  return path;
+}
+
+bool BenchReport::FastMode() {
+  const char* fast = std::getenv("MSPRINT_BENCH_FAST");
+  return fast != nullptr && fast[0] != '\0' &&
+         !(fast[0] == '0' && fast[1] == '\0');
+}
 
 SprintPolicy DvfsPlatform() {
   SprintPolicy policy;

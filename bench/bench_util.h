@@ -6,7 +6,9 @@
 #ifndef MSPRINT_BENCH_BENCH_UTIL_H_
 #define MSPRINT_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/table.h"
@@ -16,6 +18,38 @@
 
 namespace msprint {
 namespace bench {
+
+// Machine-readable result export: every bench binary records its headline
+// numbers here and calls Write(), producing BENCH_<name>.json in
+// $MSPRINT_BENCH_DIR (or the working directory). Doubles render at %.17g
+// so the artifact is byte-stable for a deterministic bench; CI uploads the
+// files so runs can be compared across commits without scraping stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void Scalar(const std::string& key, double value);
+  void Count(const std::string& key, uint64_t value);
+  void Text(const std::string& key, const std::string& value);
+
+  // Renders {"bench":..., "metrics":{...}} in insertion order.
+  std::string ToJson() const;
+
+  // Atomically writes BENCH_<name>.json; returns the path written. Also
+  // prints a one-line note to stderr so interactive runs see where the
+  // artifact went.
+  std::string Write() const;
+
+  // True when MSPRINT_BENCH_FAST is set to a non-empty, non-"0" value:
+  // benches that take minutes shrink their grids so CI can afford to run
+  // them on every push. Fast-mode reports carry "fast_mode": 1.
+  static bool FastMode();
+
+ private:
+  std::string name_;
+  // key -> already-rendered JSON value (number or quoted string)
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 
 struct PipelineOptions {

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/obs/obs.h"
+
 namespace msprint {
 
 namespace {
@@ -76,6 +78,9 @@ void AtomicWriteFile(const std::string& path, std::string_view contents) {
     ThrowErrno("cannot rename over", path);
   }
   SyncParentDirectory(path);
+  obs::Count("persist/atomic_writes");
+  obs::Count("persist/bytes_written", contents.size());
+  obs::Count("persist/fsyncs", 2);  // tmp-file fsync + parent-dir fsync
 }
 
 std::string ReadFileBytes(const std::string& path) {

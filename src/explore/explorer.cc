@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/obs.h"
+
 namespace msprint {
 
 namespace {
@@ -57,9 +59,14 @@ ExploreResult RunChain(const PerformanceModel& model,
       accept = rng.NextDouble() < probability;
     }
     result.trajectory.push_back({neighbor, neighbor_rt, accept});
+    // Counters only: chains run on pool workers, where flight-recorder
+    // events would be scheduling-ordered. Events come post-merge below.
     if (accept) {
+      obs::Count("explore/accepted");
       current_timeout = neighbor;
       current_rt = neighbor_rt;
+    } else {
+      obs::Count("explore/rejected");
     }
     if (current_rt < result.best_response_time) {
       result.best_response_time = current_rt;
@@ -80,9 +87,13 @@ ExploreResult ExploreTimeout(const PerformanceModel& model,
                              const ModelInput& base,
                              const ExploreConfig& config, ThreadPool* pool) {
   const size_t chains = std::max<size_t>(1, config.num_chains);
+  obs::Count("explore/explorations");
   if (chains == 1) {
-    return RunChain(model, profile, base, config, config.seed,
-                    config.max_iterations);
+    ExploreResult result = RunChain(model, profile, base, config, config.seed,
+                                    config.max_iterations);
+    obs::Emit(0.0, obs::EventKind::kExploreDone, obs::Subsystem::kExplore,
+              obs::Severity::kInfo, 1, result.best_timeout_seconds);
+    return result;
   }
   // Chains split the evaluation budget, so wall-clock shrinks with cores
   // while the number of model queries stays put.
@@ -106,11 +117,18 @@ ExploreResult ExploreTimeout(const PerformanceModel& model,
   ExploreResult merged;
   merged.best_timeout_seconds = results[best].best_timeout_seconds;
   merged.best_response_time = results[best].best_response_time;
-  for (const auto& chain : results) {
+  for (size_t c = 0; c < chains; ++c) {
+    const auto& chain = results[c];
     merged.trajectory.insert(merged.trajectory.end(),
                              chain.trajectory.begin(),
                              chain.trajectory.end());
+    // Emitted here, after the deterministic slot-order merge — never from
+    // inside the racing chains themselves.
+    obs::Emit(0.0, obs::EventKind::kChainStep, obs::Subsystem::kExplore,
+              obs::Severity::kDebug, c, chain.best_response_time);
   }
+  obs::Emit(0.0, obs::EventKind::kExploreDone, obs::Subsystem::kExplore,
+            obs::Severity::kInfo, chains, merged.best_timeout_seconds);
   return merged;
 }
 

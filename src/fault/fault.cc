@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/common/rng.h"
+#include "src/obs/obs.h"
 
 namespace msprint {
 
@@ -170,6 +171,7 @@ bool FaultInjector::SprintToggleFails(uint64_t query, double now) {
     return false;
   }
   trace_.push_back({now, FaultKind::kToggleFailure, query, 0.0});
+  obs::Count("fault/toggle_failures");
   return true;
 }
 
@@ -184,6 +186,9 @@ double FaultInjector::ServiceMultiplier(uint64_t query, double now) {
   const double multiplier = plan_->ForQuery(query).service_multiplier;
   if (multiplier > 1.0) {
     trace_.push_back({now, FaultKind::kServiceOutlier, query, multiplier});
+    obs::Count("fault/service_outliers");
+    obs::Emit(now, obs::EventKind::kServiceOutlier, obs::Subsystem::kFault,
+              obs::Severity::kInfo, query, multiplier);
   }
   return multiplier;
 }
@@ -191,10 +196,12 @@ double FaultInjector::ServiceMultiplier(uint64_t query, double now) {
 void FaultInjector::RecordBreakerTrip(double now, double cooldown_seconds) {
   trace_.push_back(
       {now, FaultKind::kBreakerTrip, FaultEvent::kNoQuery, cooldown_seconds});
+  obs::Count("fault/breaker_trips");
 }
 
 void FaultInjector::RecordSprintAbort(uint64_t query, double now) {
   trace_.push_back({now, FaultKind::kSprintAbort, query, 0.0});
+  obs::Count("fault/sprint_aborts");
 }
 
 std::vector<TelemetryEvent> PerturbTelemetry(const FaultPlan& plan,
@@ -217,6 +224,7 @@ std::vector<TelemetryEvent> PerturbTelemetry(const FaultPlan& plan,
         trace->push_back(
             {event.time, FaultKind::kTelemetryDrop, event.query, 0.0});
       }
+      obs::Count("fault/telemetry_drops");
       continue;
     }
     const double delay = event.is_completion ? faults.reorder_completion_delay
@@ -233,6 +241,7 @@ std::vector<TelemetryEvent> PerturbTelemetry(const FaultPlan& plan,
         trace->push_back(
             {event.time, FaultKind::kTelemetryDuplicate, event.query, 0.0});
       }
+      obs::Count("fault/telemetry_duplicates");
       deliveries.push_back({event, event.time + delay, order++});
     }
   }

@@ -1,0 +1,59 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"  // StableDouble
+
+namespace msprint {
+namespace obs {
+
+std::string EventsToJsonl(const std::vector<Event>& events) {
+  std::string out;
+  char buf[64];
+  for (const Event& event : events) {
+    out += "{\"time\":" + StableDouble(event.time) + ",\"subsystem\":\"" +
+           ToString(event.subsystem) + "\",\"kind\":\"" +
+           ToString(event.kind) + "\",\"severity\":\"" +
+           ToString(event.severity) + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"id\":%" PRIu64, event.id);
+    out += buf;
+    out += ",\"value\":" + StableDouble(event.value) + ",\"duration\":" +
+           StableDouble(event.duration) + "}\n";
+  }
+  return out;
+}
+
+std::string EventsToChromeTrace(const std::vector<Event>& events) {
+  std::string out = "[";
+  char buf[64];
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    const double ts_us = event.time * 1e6;
+    out += "{\"name\":\"" + ToString(event.kind) + "\",\"cat\":\"" +
+           ToString(event.subsystem) + "\",\"ph\":\"";
+    if (event.duration > 0.0) {
+      out += "X\",\"ts\":" + StableDouble(ts_us) +
+             ",\"dur\":" + StableDouble(event.duration * 1e6);
+    } else {
+      out += "i\",\"s\":\"t\",\"ts\":" + StableDouble(ts_us);
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u",
+                  static_cast<unsigned>(event.subsystem));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "{\"id\":%" PRIu64, event.id);
+    out += ",\"args\":";
+    out += buf;
+    out += ",\"value\":" + StableDouble(event.value) + ",\"severity\":\"" +
+           ToString(event.severity) + "\"}}";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace msprint

@@ -1,0 +1,32 @@
+// Machine-readable exports of flight-recorder event streams: JSONL (one
+// JSON object per event, oldest first) and the Chrome tracing format
+// (chrome://tracing / Perfetto "JSON Array" flavor). Both renderings are
+// byte-stable: identical event streams produce identical bytes, so CI can
+// diff exports across pool sizes.
+
+#ifndef MSPRINT_SRC_OBS_EXPORT_H_
+#define MSPRINT_SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/recorder.h"
+
+namespace msprint {
+namespace obs {
+
+// One line per event:
+// {"time":...,"subsystem":"...","kind":"...","severity":"...","id":...,
+//  "value":...,"duration":...}
+std::string EventsToJsonl(const std::vector<Event>& events);
+
+// Chrome tracing JSON array. Events with duration > 0 become complete
+// spans (ph:"X"); the rest become instants (ph:"i"). ts/dur are in
+// microseconds of simulated time; pid is 1 and tid is the subsystem index
+// so each subsystem renders as its own track.
+std::string EventsToChromeTrace(const std::vector<Event>& events);
+
+}  // namespace obs
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_OBS_EXPORT_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.h"
+
 namespace msprint {
 
 namespace {
@@ -58,6 +60,7 @@ void OnlineAdvisor::OnObservedResponseTime(double now,
   }
   const double predicted = std::max(1e-9, current_->predicted_response_time);
   const double error = std::abs(response_seconds - predicted) / predicted;
+  obs::Observe("online/watchdog_error", error);
   health_errors_.push_back(error);
   health_error_sum_ += error;
   while (health_errors_.size() > config_.health_window_count) {
@@ -100,7 +103,7 @@ bool OnlineAdvisor::ShouldReplan(double utilization) {
                         config_.utilization_slack;
 }
 
-void OnlineAdvisor::UpdateRung() {
+void OnlineAdvisor::UpdateRung(double now) {
   if (health_errors_.size() < config_.health_min_observations) {
     return;
   }
@@ -119,8 +122,13 @@ void OnlineAdvisor::UpdateRung() {
   if (next == rung_) {
     return;
   }
+  const bool demotion = next > rung_;
   rung_ = next;
   ++rung_transition_count_;
+  obs::Count("online/rung_transitions");
+  obs::Emit(now, obs::EventKind::kRungTransition, obs::Subsystem::kOnline,
+            demotion ? obs::Severity::kWarn : obs::Severity::kInfo,
+            static_cast<uint64_t>(next), error);
   health_errors_.clear();
   health_error_sum_ = 0.0;
   pending_replan_ = true;
@@ -157,6 +165,10 @@ void OnlineAdvisor::Replan(double now, double utilization) {
     recommendation.revision = replan_count_;
     pending_replan_ = false;
     current_ = recommendation;
+    obs::Count("online/replans");
+    obs::Emit(now, obs::EventKind::kReplan, obs::Subsystem::kOnline,
+              obs::Severity::kInfo, recommendation.revision,
+              recommendation.timeout_seconds);
     return;
   }
 
@@ -178,6 +190,7 @@ void OnlineAdvisor::Replan(double now, double utilization) {
         if (delta <= config_.timeout_hysteresis_fraction *
                          std::max(current_->timeout_seconds, 1.0)) {
           current_->at_utilization = input.utilization;
+          obs::Count("online/replans_absorbed");
           return;
         }
       }
@@ -185,15 +198,24 @@ void OnlineAdvisor::Replan(double now, double utilization) {
       recommendation.predicted_response_time = explored.best_response_time;
       recommendation.revision = replan_count_;
       current_ = recommendation;
+      obs::Count("online/replans");
+      obs::Emit(now, obs::EventKind::kReplan, obs::Subsystem::kOnline,
+                obs::Severity::kInfo, recommendation.revision,
+                recommendation.timeout_seconds);
       return;
     } catch (const std::exception&) {
       ++replan_failure_count_;
+      obs::Count("online/replan_failures");
     }
   }
   // Every attempt failed: demote one rung, back off, and keep the standing
   // recommendation until the next Recommend() after the backoff.
   rung_ = Demoted(rung_);
   ++rung_transition_count_;
+  obs::Count("online/rung_transitions");
+  obs::Emit(now, obs::EventKind::kReplanFailure, obs::Subsystem::kOnline,
+            obs::Severity::kError, static_cast<uint64_t>(rung_),
+            config_.replan_backoff_seconds);
   health_errors_.clear();
   health_error_sum_ = 0.0;
   pending_replan_ = true;
@@ -205,7 +227,7 @@ std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
   if (rate_estimator_.EventsInWindow(now) < 5) {
     return current_;  // not enough signal yet
   }
-  UpdateRung();
+  UpdateRung(now);
   // Always feed the drift detector, even when a ladder move already forced
   // a re-plan, so the utilization stream stays continuous.
   const bool drift_replan = ShouldReplan(utilization);

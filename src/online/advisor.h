@@ -157,7 +157,7 @@ class OnlineAdvisor {
 
  private:
   bool ShouldReplan(double utilization);
-  void UpdateRung();
+  void UpdateRung(double now);
   const PerformanceModel& ActiveModel() const;
   void Replan(double now, double utilization);
 

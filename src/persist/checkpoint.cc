@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/fileio.h"
+#include "src/obs/obs.h"
 #include "src/profiler/profile_io.h"
 
 namespace msprint {
@@ -163,6 +164,11 @@ void SaveCheckpointToFile(const std::string& path,
   record.AddSection(kSectionDrive, drive_w.Take());
 
   WriteRecordToFile(path, record);
+  obs::Count("persist/checkpoints_saved");
+  // Sim time for the event is the drive clock: the checkpoint layer has no
+  // deterministic clock of its own.
+  obs::Emit(drive.clock_seconds, obs::EventKind::kCheckpointCommit,
+            obs::Subsystem::kPersist, obs::Severity::kInfo, drive.step);
 }
 
 LoadedCheckpoint ParseCheckpoint(std::string bytes) {
@@ -216,7 +222,12 @@ LoadedCheckpoint LoadCheckpointFromFile(const std::string& path) {
   } catch (const std::exception& error) {
     throw PersistError(ErrorCode::kIo, error.what());
   }
-  return ParseCheckpoint(std::move(bytes));
+  LoadedCheckpoint loaded = ParseCheckpoint(std::move(bytes));
+  obs::Count("persist/checkpoints_loaded");
+  obs::Emit(loaded.drive.clock_seconds, obs::EventKind::kCheckpointRestore,
+            obs::Subsystem::kPersist, obs::Severity::kInfo,
+            loaded.drive.step);
+  return loaded;
 }
 
 void RestoreAdvisorState(OnlineAdvisor& advisor,

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/obs.h"
 
 namespace msprint {
 
@@ -208,6 +209,14 @@ SimResult SimulateQueue(const SimConfig& config,
   result.mean_queueing_delay = qd_stats.mean();
   result.fraction_sprinted = sprinted / count;
   result.fraction_timed_out = timed_out / count;
+
+  // Counters only: simulations run on pool workers (replications, SA
+  // chains), and the flight recorder is reserved for serial paths. Sharded
+  // counter sums are order-independent, so this stays deterministic.
+  obs::Count("sim/runs");
+  obs::Count("sim/queries", n - first);
+  obs::Count("sim/sprinted", sprinted);
+  obs::Count("sim/timed_out", timed_out);
 
   if (trace_out != nullptr) {
     *trace_out = std::move(queries);

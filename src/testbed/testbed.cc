@@ -7,6 +7,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/obs/obs.h"
+
 namespace msprint {
 
 namespace {
@@ -122,6 +124,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   const FaultPlan fault_plan =
       FaultPlan::Generate(config.faults, config.seed, fault_horizon);
   FaultInjector injector(&fault_plan);
+  for (const TimeWindow& window : fault_plan.flash_crowd_windows()) {
+    obs::Emit(window.begin, obs::EventKind::kFlashCrowd,
+              obs::Subsystem::kFault, obs::Severity::kInfo, 0,
+              config.faults.flash_crowd_intensity,
+              window.end - window.begin);
+  }
 
   std::vector<Query> queries(n);
   {
@@ -143,6 +151,15 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       q.size = q.service_time / mean_service;
     }
   }
+
+  // Cached metric handles: the per-query paths below are the hottest code
+  // in the repo, so pay the registry lookup once per run, not per query.
+  // The event loop is serial and `now` is simulated time, so emitting
+  // flight-recorder events here preserves the determinism contract.
+  obs::MetricsRegistry* metrics = obs::ActiveMetrics();
+  obs::Histogram* h_queue_depth =
+      metrics ? &metrics->GetHistogram("testbed/queue_depth_at_dispatch")
+              : nullptr;
 
   const double timeout = config.disable_sprinting
                              ? std::numeric_limits<double>::infinity()
@@ -189,7 +206,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     if (budget.Available(now) <= kBudgetEpsilon) {
       return false;
     }
-    return !injector.SprintToggleFails(qi, now);
+    if (injector.SprintToggleFails(qi, now)) {
+      obs::Emit(now, obs::EventKind::kToggleFailure, obs::Subsystem::kFault,
+                obs::Severity::kWarn, qi);
+      return false;
+    }
+    return true;
   };
 
   auto dispatch = [&](size_t qi, double now, size_t queue_len_at_dispatch) {
@@ -197,6 +219,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     const auto& spec = catalog.spec(q.workload);
     q.start = now;
     executing[qi] = 1;
+    if (h_queue_depth != nullptr) {
+      h_queue_depth->Record(static_cast<double>(queue_len_at_dispatch));
+    }
     effective_service[qi] = q.service_time *
                             LoadOverheadFactor(queue_len_at_dispatch) *
                             injector.ServiceMultiplier(qi, now);
@@ -219,6 +244,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       if (sprint_allowed(qi, now)) {
         q.sprinted = true;
         q.sprint_begin = now;
+        obs::Emit(now, obs::EventKind::kSprintEngage, obs::Subsystem::kTestbed,
+                  obs::Severity::kInfo, qi, effective_service[qi]);
         sustained_remaining_at_sprint[qi] = effective_service[qi];
         // Sprint engages as the query starts; the toggle happens during
         // dispatch and is cheaper than a mid-flight toggle, but not free.
@@ -273,6 +300,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       schedule_departure(qi, now + mechanism->ToggleLatencySeconds() +
                                  remaining_sustained);
       injector.RecordSprintAbort(qi, now);
+      obs::Emit(now, obs::EventKind::kSprintAbort, obs::Subsystem::kTestbed,
+                obs::Severity::kWarn, qi, elapsed);
     }
   };
 
@@ -284,6 +313,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     switch (ev.type) {
       case EventType::kArrival: {
         fifo.push_back(ev.query);
+        obs::Emit(now, obs::EventKind::kQueueArrival,
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
+                  static_cast<double>(fifo.size()));
         if (++next_arrival < n) {
           events.push({queries[next_arrival].arrival, EventType::kArrival,
                        next_arrival, 0});
@@ -296,6 +328,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         }
         complete(ev.query, now);
         ++departed;
+        obs::Emit(now, obs::EventKind::kQueueDeparture,
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
+                  queries[ev.query].ResponseTime());
         break;
       }
       case EventType::kTimeout: {
@@ -304,9 +339,15 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           break;
         }
         q.timed_out = true;
+        obs::Emit(now, obs::EventKind::kQueryTimeout,
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
+                  timeout);
         if (sprint_allowed(ev.query, now)) {
           q.sprinted = true;
           q.sprint_begin = now;
+          obs::Emit(now, obs::EventKind::kSprintEngage,
+                    obs::Subsystem::kTestbed, obs::Severity::kInfo, ev.query,
+                    effective_service[ev.query]);
           const auto& spec = catalog.spec(q.workload);
           const double progress = (now - q.start) / effective_service[ev.query];
           sustained_remaining_at_sprint[ev.query] =
@@ -323,6 +364,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       case EventType::kBreakerTrip: {
         injector.RecordBreakerTrip(now,
                                    config.faults.breaker_cooldown_seconds);
+        obs::Emit(now, obs::EventKind::kBreakerTrip, obs::Subsystem::kFault,
+                  obs::Severity::kWarn, 0,
+                  config.faults.breaker_cooldown_seconds);
         abort_inflight_sprints(now);
         break;
       }
@@ -348,12 +392,26 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   trace.queries.assign(queries.begin() + static_cast<long>(first),
                        queries.end());
   StreamingStats rt, qd, pt, upt;
+  obs::Histogram* h_response =
+      metrics ? &metrics->GetHistogram("testbed/response_time_seconds")
+              : nullptr;
+  obs::Histogram* h_queueing =
+      metrics ? &metrics->GetHistogram("testbed/queueing_delay_seconds")
+              : nullptr;
+  obs::Histogram* h_processing =
+      metrics ? &metrics->GetHistogram("testbed/processing_time_seconds")
+              : nullptr;
   size_t sprinted = 0;
   size_t timed_out = 0;
   for (const auto& q : trace.queries) {
     rt.Add(q.ResponseTime());
     qd.Add(q.QueueingDelay());
     pt.Add(q.ProcessingTime());
+    if (h_response != nullptr) {
+      h_response->Record(q.ResponseTime());
+      h_queueing->Record(q.QueueingDelay());
+      h_processing->Record(q.ProcessingTime());
+    }
     if (q.sprinted) {
       ++sprinted;
       trace.total_sprint_seconds += q.sprint_seconds;
@@ -364,6 +422,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       ++timed_out;
     }
     trace.makespan = std::max(trace.makespan, q.depart);
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("testbed/runs").Increment();
+    metrics->GetCounter("testbed/queries").Add(trace.queries.size());
+    metrics->GetCounter("testbed/sprinted").Add(sprinted);
+    metrics->GetCounter("testbed/timed_out").Add(timed_out);
   }
   const double count = static_cast<double>(trace.queries.size());
   trace.mean_response_time = rt.mean();

@@ -19,6 +19,10 @@
 #include "src/fault/fault.h"
 #include "src/ml/linear_regression.h"
 #include "src/ml/random_forest.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/recorder.h"
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
 #include "src/sim/queue_simulator.h"
@@ -297,6 +301,105 @@ TEST(DeterminismTest, AdvisorRecommendationsIdenticalForAnyPoolSize) {
       EXPECT_EQ(result[i].rung, reference[i].rung);
     }
   }
+}
+
+// ------------------------------------------------------- observability
+//
+// The PR-4 invariant: telemetry inherits determinism. A seeded drive with
+// an attached MetricsRegistry + FlightRecorder must export byte-identical
+// snapshots and event streams for any pool size — stable counters are
+// order-independent sums and recorder events only come from serial paths.
+
+TEST(DeterminismTest, ObsExportsByteIdenticalForAnyPoolSize) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+
+  // The advisor drive from AdvisorRecommendationsIdenticalForAnyPoolSize,
+  // now with full observability attached: multi-chain exploration fans out
+  // on the pool while counters accumulate from racing workers.
+  auto run = [&](ThreadPool* pool) {
+    obs::MetricsRegistry metrics;
+    obs::FlightRecorder recorder;
+    obs::ObsSession session(&metrics, &recorder);
+
+    AdvisorConfig config;
+    config.rate_window_seconds = 400.0;
+    config.explore.max_iterations = 160;
+    config.explore.num_chains = 4;
+    config.explore.seed = 5;
+    config.pool = pool;
+    config.fallback_sim = {600, 60, 1, 97};
+    config.health_window_count = 12;
+    config.health_min_observations = 6;
+    OnlineAdvisor advisor(model, profile, config);
+    double t = 0.0;
+    for (int i = 0; i < 120; ++i) {
+      t += i < 60 ? 20.0 : 5.0;
+      advisor.OnArrival(t);
+      const auto rec = advisor.Recommend(t);
+      if (rec.has_value()) {
+        advisor.OnObservedResponseTime(t, 4.0 * rec->predicted_response_time);
+      }
+    }
+
+    struct Exports {
+      std::string text;
+      std::string json;
+      std::string jsonl;
+      std::string chrome;
+    };
+    const obs::MetricsSnapshot snapshot = metrics.Snapshot();
+    const std::vector<obs::Event> events = recorder.Events();
+    return Exports{snapshot.ToText(), snapshot.ToJson(),
+                   obs::EventsToJsonl(events),
+                   obs::EventsToChromeTrace(events)};
+  };
+
+  ThreadPool serial(1);
+  const auto reference = run(&serial);
+  ASSERT_NE(reference.text.find("counter explore/"), std::string::npos);
+  ASSERT_NE(reference.jsonl.find("replan"), std::string::npos);
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    const auto result = run(&pool);
+    EXPECT_EQ(result.text, reference.text)
+        << "metrics text diverged at pool size " << pool_size;
+    EXPECT_EQ(result.json, reference.json)
+        << "metrics json diverged at pool size " << pool_size;
+    EXPECT_EQ(result.jsonl, reference.jsonl)
+        << "event jsonl diverged at pool size " << pool_size;
+    EXPECT_EQ(result.chrome, reference.chrome)
+        << "chrome trace diverged at pool size " << pool_size;
+  }
+}
+
+TEST(DeterminismTest, FaultStormObsSnapshotByteIdentical) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.timeout_seconds = 40.0;
+  config.utilization = 0.6;
+  config.num_queries = 1000;
+  config.warmup_queries = 100;
+  config.seed = 77;
+  config.faults.toggle_failure_probability = 0.2;
+  config.faults.breaker_trips_per_hour = 4.0;
+  config.faults.outlier_probability = 0.05;
+  config.faults.flash_crowds_per_hour = 1.0;
+
+  auto run = [&] {
+    obs::MetricsRegistry metrics;
+    obs::FlightRecorder recorder;
+    obs::ObsSession session(&metrics, &recorder);
+    Testbed::Run(config);
+    return std::make_pair(metrics.Snapshot().ToText(),
+                          recorder.FormatTail());
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_NE(a.first.find("counter fault/breaker_trips"), std::string::npos);
+  ASSERT_NE(a.second.find("breaker-trip"), std::string::npos);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
 }
 
 // ------------------------------------------------------- persistence

@@ -37,6 +37,20 @@
 //       Warm-restart the advisor from a checkpoint and continue the drive.
 //       The step lines are byte-identical to an uninterrupted run: diff
 //       `tail -n N` of the long run against the restored run to audit.
+//
+//   msprint stats [--profile F | --workload W] [--format text|json]
+//       Run a seeded workload with the observability layer attached and
+//       print the deterministic metrics snapshot: same seed, same snapshot
+//       bytes, for any --threads / MSPRINT_THREADS.
+//
+//   msprint trace [--profile F | --workload W] [--format text|jsonl|chrome]
+//       Same drive, but print the sim-time flight-recorder event stream:
+//       text (one line per event), JSONL, or Chrome tracing JSON for
+//       chrome://tracing / Perfetto.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
+// unknown command). `msprint help` / `--help` print usage on stdout and
+// exit 0; a bad invocation prints usage on stderr and exits 2.
 
 #include <cmath>
 #include <iomanip>
@@ -50,6 +64,8 @@
 #include "src/core/analytic_model.h"
 #include "src/core/effective_rate.h"
 #include "src/explore/explorer.h"
+#include "src/obs/export.h"
+#include "src/obs/obs.h"
 #include "src/online/advisor.h"
 #include "src/persist/checkpoint.h"
 #include "src/profiler/profile_io.h"
@@ -340,7 +356,7 @@ int CmdExplore(const Flags& flags) {
 // and prints the resulting fault trace. Two invocations with identical
 // flags print identical traces — pipe both to files and diff to audit a
 // replay.
-int CmdFaults(const Flags& flags) {
+TestbedConfig TestbedConfigFromFlags(const Flags& flags) {
   TestbedConfig config;
   config.mix = QueryMix::Single(
       ParseWorkloadId(flags.GetString("workload", "Jacobi")));
@@ -370,8 +386,23 @@ int CmdFaults(const Flags& flags) {
       flags.GetDouble("crowd-duration", 60.0);
   config.faults.flash_crowd_intensity =
       flags.GetDouble("crowd-intensity", 3.0);
+  return config;
+}
 
-  const RunTrace trace = Testbed::Run(config);
+int CmdFaults(const Flags& flags) {
+  const TestbedConfig config = TestbedConfigFromFlags(flags);
+
+  // Observe the storm run too: the metrics snapshot and warn-level event
+  // tail below are byte-stable, so the CI replay diff that guards the
+  // fault trace also guards the observability exports.
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder;
+  recorder.SetMinSeverityAll(obs::Severity::kWarn);
+  RunTrace trace;
+  {
+    obs::ObsSession session(&metrics, &recorder);
+    trace = Testbed::Run(config);
+  }
   std::cout << FormatFaultTrace(trace.fault_trace);
 
   size_t per_kind[8] = {};
@@ -389,6 +420,8 @@ int CmdFaults(const Flags& flags) {
             << " s, sprinted " << trace.fraction_sprinted * 100
             << "%, sprint-seconds " << trace.total_sprint_seconds
             << ", makespan " << trace.makespan << " s\n";
+  std::cout << "# obs-metrics\n" << metrics.Snapshot().ToText();
+  std::cout << "# obs-events\n" << recorder.FormatTail();
   return 0;
 }
 
@@ -402,7 +435,7 @@ int CmdFaults(const Flags& flags) {
 // byte-diffed against the tail of an uninterrupted run; all narration goes
 // to stderr.
 void DriveStep(OnlineAdvisor& advisor, SprintBudget& budget,
-               persist::DriveState& state) {
+               persist::DriveState& state, std::ostream* out) {
   Rng rng(DeriveSeed(state.seed, state.step));
   const double dt = 2.0 + 8.0 * rng.NextDouble();
   state.clock_seconds += dt;
@@ -421,25 +454,33 @@ void DriveStep(OnlineAdvisor& advisor, SprintBudget& budget,
     budget.ConsumeUpTo(state.clock_seconds, 0.1 * service_seconds);
   }
 
-  std::cout << "step " << state.step << " t=" << state.clock_seconds
-            << " rate=" << advisor.EstimatedArrivalRate(state.clock_seconds)
-            << " budget=" << budget.Available(state.clock_seconds);
-  if (rec.has_value()) {
-    std::cout << " rung=" << ToString(rec->rung) << " rev=" << rec->revision
-              << " timeout=" << rec->timeout_seconds
-              << " predicted=" << rec->predicted_response_time;
-  } else {
-    std::cout << " rung=- rev=- timeout=- predicted=-";
+  if (out != nullptr) {
+    *out << "step " << state.step << " t=" << state.clock_seconds
+         << " rate=" << advisor.EstimatedArrivalRate(state.clock_seconds)
+         << " budget=" << budget.Available(state.clock_seconds);
+    if (rec.has_value()) {
+      *out << " rung=" << ToString(rec->rung) << " rev=" << rec->revision
+           << " timeout=" << rec->timeout_seconds
+           << " predicted=" << rec->predicted_response_time;
+    } else {
+      *out << " rung=- rev=- timeout=- predicted=-";
+    }
+    *out << "\n";
   }
-  std::cout << "\n";
   ++state.step;
 }
 
+// Drives `steps` deterministic advisor steps. Step lines go to `out` at
+// full precision; pass nullptr to run silently (the stats/trace verbs keep
+// stdout for their own machine-readable export).
 persist::DriveState DriveSteps(OnlineAdvisor& advisor, SprintBudget& budget,
-                               persist::DriveState state, size_t steps) {
-  std::cout << std::setprecision(17);
+                               persist::DriveState state, size_t steps,
+                               std::ostream* out) {
+  if (out != nullptr) {
+    *out << std::setprecision(17);
+  }
   for (size_t i = 0; i < steps; ++i) {
-    DriveStep(advisor, budget, state);
+    DriveStep(advisor, budget, state, out);
   }
   return state;
 }
@@ -476,7 +517,8 @@ int CmdCheckpoint(const Flags& flags) {
 
   persist::DriveState state;
   state.seed = flags.GetSize("seed", 1);
-  state = DriveSteps(advisor, budget, state, flags.GetSize("steps", 40));
+  state = DriveSteps(advisor, budget, state, flags.GetSize("steps", 40),
+                     &std::cout);
 
   persist::SaveCheckpointToFile(out, profile, model, config, advisor, budget,
                                 state);
@@ -496,7 +538,7 @@ int CmdRestore(const Flags& flags) {
 
   const persist::DriveState state =
       DriveSteps(advisor, checkpoint.budget, checkpoint.drive,
-                 flags.GetSize("steps", 40));
+                 flags.GetSize("steps", 40), &std::cout);
   if (flags.Has("out")) {
     persist::SaveCheckpointToFile(flags.GetString("out"), checkpoint.profile,
                                   checkpoint.model, checkpoint.config,
@@ -507,8 +549,90 @@ int CmdRestore(const Flags& flags) {
   return 0;
 }
 
-int Usage() {
-  std::cout <<
+// Runs a seeded workload with an ObsSession attached so the stats/trace
+// verbs have telemetry to export. With --profile it trains the hybrid
+// model and drives the online advisor (step lines suppressed: stdout
+// belongs to the export); otherwise it runs the fault-capable testbed
+// with the same flags `msprint faults` takes.
+void RunObserved(const Flags& flags, obs::MetricsRegistry& metrics,
+                 obs::FlightRecorder& recorder) {
+  obs::ObsSession session(&metrics, &recorder);
+  if (flags.Has("profile")) {
+    const WorkloadProfile profile =
+        LoadProfileFromFile(flags.GetString("profile"));
+    const AdvisorConfig config = AdvisorConfigFromFlags(flags);
+    std::cerr << "training hybrid model on " << profile.rows.size()
+              << " rows...\n";
+    const HybridModel model =
+        HybridModel::Train({&profile}, {}, config.fallback_sim);
+    OnlineAdvisor advisor(model, profile, config);
+    SprintBudget budget = SprintBudget::FromFraction(
+        config.base.budget_fraction, config.base.refill_seconds);
+    persist::DriveState state;
+    state.seed = flags.GetSize("seed", 1);
+    DriveSteps(advisor, budget, state, flags.GetSize("steps", 40),
+               /*out=*/nullptr);
+  } else {
+    (void)Testbed::Run(TestbedConfigFromFlags(flags));
+  }
+}
+
+int CmdStats(const Flags& flags) {
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(
+      flags.GetSize("capacity", obs::FlightRecorder::kDefaultCapacity));
+  RunObserved(flags, metrics, recorder);
+  // Timing metrics (wall-clock) are opt-in: the default export is the
+  // deterministic one that CI byte-diffs across pool sizes.
+  const bool timing = flags.GetSize("timing", 0) != 0;
+  const obs::MetricsSnapshot snapshot = metrics.Snapshot(timing);
+  const std::string format = flags.GetString("format", "text");
+  if (format == "text") {
+    std::cout << snapshot.ToText();
+  } else if (format == "json") {
+    std::cout << snapshot.ToJson() << "\n";
+  } else {
+    throw FlagError("format", "expected text|json, got '" + format + "'");
+  }
+  return 0;
+}
+
+int CmdTrace(const Flags& flags) {
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(
+      flags.GetSize("capacity", obs::FlightRecorder::kDefaultCapacity));
+  if (flags.Has("min-severity")) {
+    const std::string severity = flags.GetString("min-severity");
+    if (severity == "debug") {
+      recorder.SetMinSeverityAll(obs::Severity::kDebug);
+    } else if (severity == "info") {
+      recorder.SetMinSeverityAll(obs::Severity::kInfo);
+    } else if (severity == "warn") {
+      recorder.SetMinSeverityAll(obs::Severity::kWarn);
+    } else if (severity == "error") {
+      recorder.SetMinSeverityAll(obs::Severity::kError);
+    } else {
+      throw FlagError("min-severity", "expected debug|info|warn|error, got '" +
+                                          severity + "'");
+    }
+  }
+  RunObserved(flags, metrics, recorder);
+  const std::string format = flags.GetString("format", "text");
+  if (format == "text") {
+    std::cout << recorder.FormatTail();
+  } else if (format == "jsonl") {
+    std::cout << obs::EventsToJsonl(recorder.Events());
+  } else if (format == "chrome") {
+    std::cout << obs::EventsToChromeTrace(recorder.Events());
+  } else {
+    throw FlagError("format",
+                    "expected text|jsonl|chrome, got '" + format + "'");
+  }
+  return 0;
+}
+
+void PrintUsage(std::ostream& out) {
+  out <<
       "usage: msprint <command> [--flags]\n"
       "commands:\n"
       "  catalog                       list workloads and mechanisms\n"
@@ -526,8 +650,15 @@ int Usage() {
       "  checkpoint --profile F --out F [--steps N --seed S --budget B\n"
       "            --refill R]   (drive the advisor, save a checkpoint)\n"
       "  restore   --checkpoint F [--steps N --out F]\n"
-      "            (warm-restart the advisor and continue the drive)\n";
-  return 2;
+      "            (warm-restart the advisor and continue the drive)\n"
+      "  stats     [--profile F | --workload W] [--format text|json\n"
+      "            --timing 1 --steps N --seed S ...]   (deterministic\n"
+      "            metrics snapshot of a seeded observed run)\n"
+      "  trace     [--profile F | --workload W] [--format text|jsonl|chrome\n"
+      "            --min-severity S --capacity N ...]   (sim-time flight\n"
+      "            recorder export of the same run)\n"
+      "  help                          print this message\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error\n";
 }
 
 }  // namespace
@@ -536,9 +667,14 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace msprint;
   if (argc < 2) {
-    return Usage();
+    PrintUsage(std::cerr);
+    return 2;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    PrintUsage(std::cout);
+    return 0;
+  }
   try {
     const Flags flags(argc, argv, 2);
     // --threads sizes the shared pool every parallel stage draws from;
@@ -573,8 +709,15 @@ int main(int argc, char** argv) {
     if (command == "restore") {
       return CmdRestore(flags);
     }
+    if (command == "stats") {
+      return CmdStats(flags);
+    }
+    if (command == "trace") {
+      return CmdTrace(flags);
+    }
     std::cerr << "unknown command: " << command << "\n";
-    return Usage();
+    PrintUsage(std::cerr);
+    return 2;
   } catch (const FlagError& error) {
     // Bad invocation, not a runtime failure: usage exit code.
     std::cerr << error.what() << "\n";
