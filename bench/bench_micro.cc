@@ -172,6 +172,61 @@ void BM_TestbedRunObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_TestbedRunObserved)->Arg(1000);
 
+// The marginal cost a testbed query pays when a span collector IS attached:
+// filling SpanInputs, quantizing the milestone chain into ticks
+// (BuildQuerySpan) and appending to the pre-reserved batch. This is the
+// enabled-path analogue of BM_ObsIdleHotPath; the CI obs job gates it below
+// 2% of BM_TestbedRun's per-query cost.
+void BM_SpanRecordHotPath(benchmark::State& state) {
+  std::vector<obs::QuerySpan> spans;
+  spans.reserve(1024);
+  const double fractions[3] = {0.25, 0.5, 0.25};
+  uint64_t id = 0;
+  for (auto _ : state) {
+    if (spans.size() == spans.capacity()) {
+      spans.clear();
+    }
+    obs::SpanInputs in;
+    in.id = id++;
+    in.klass = 2;
+    in.arrival = 100.0;
+    in.start = 101.5;
+    in.depart = 104.25;
+    in.service_time = 2.5;
+    in.load_factor = 1.05;
+    in.fault_multiplier = 1.0;
+    in.toggle_seconds = 0.0005;
+    in.sprint_begin = 102.0;
+    in.sprinted = true;
+    in.phase_fractions = fractions;
+    in.num_phases = 3;
+    spans.push_back(obs::BuildQuerySpan(in));
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanRecordHotPath);
+
+// BM_TestbedRunObserved plus an attached span collector: every post-warmup
+// query additionally records a full attribution span. The delta against
+// BM_TestbedRun bounds the whole-run span overhead.
+void BM_TestbedRunWithSpans(benchmark::State& state) {
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.mechanism = MechanismId::kDvfs;
+  config.utilization = 0.8;
+  config.num_queries = static_cast<size_t>(state.range(0));
+  config.warmup_queries = config.num_queries / 10;
+  config.seed = 3;
+  for (auto _ : state) {
+    obs::SpanCollector spans;
+    obs::ObsSession session(nullptr, nullptr, &spans);
+    benchmark::DoNotOptimize(Testbed::Run(config).mean_response_time);
+    benchmark::DoNotOptimize(spans.recorded());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TestbedRunWithSpans)->Arg(1000);
+
 void BM_CalibrationSearch(benchmark::State& state) {
   WorkloadProfile profile;
   profile.service_rate_per_second = 1.0 / 70.0;

@@ -56,6 +56,10 @@ double Quantile(std::vector<double> values, double q) {
   if (values.empty()) {
     throw std::invalid_argument("quantile of empty sample");
   }
+  if (std::isnan(q)) {
+    // clamp(NaN) stays NaN and static_cast<size_t>(NaN) is UB — reject.
+    throw std::invalid_argument("quantile fraction must not be NaN");
+  }
   q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);

@@ -40,7 +40,8 @@ class StreamingStats {
 };
 
 // Quantile of a sample using linear interpolation between order statistics
-// (type-7, the numpy/R default). q in [0,1]. Copies and sorts internally.
+// (type-7, the numpy/R default). q is clamped to [0, 1]; an empty sample or
+// a NaN q throws std::invalid_argument. Copies and sorts internally.
 double Quantile(std::vector<double> values, double q);
 
 // Median shorthand.

@@ -1,0 +1,270 @@
+#include "src/obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace msprint {
+namespace obs {
+
+namespace {
+
+struct Field {
+  std::string name;   // "value" for counters/gauges, "p50" etc. for hists
+  std::string raw;    // rendered value, reported verbatim
+  double value = 0.0;
+  bool approx = false;  // rendered with '~': log-bucket approximation
+};
+
+struct Metric {
+  std::string kind;  // counter | gauge | hist
+  std::vector<Field> fields;
+};
+
+struct Export {
+  // Keyed "<kind> <name>" so kinds sort together and a kind change shows
+  // up as missing+extra rather than a field soup.
+  std::map<std::string, Metric> metrics;
+  // Non-grammar, non-comment lines, compared as opaque text.
+  std::map<std::string, size_t> opaque;
+};
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t next = line.find(' ', pos);
+    if (next == std::string::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    if (next > pos) {
+      tokens.push_back(line.substr(pos, next - pos));
+    }
+    pos = next + 1;
+  }
+  return tokens;
+}
+
+bool ParseValue(const std::string& raw, double* out) {
+  if (raw.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+Export ParseExport(const std::string& text) {
+  Export parsed;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t next = text.find('\n', pos);
+    const std::string line = next == std::string::npos
+                                 ? text.substr(pos)
+                                 : text.substr(pos, next - pos);
+    pos = next == std::string::npos ? text.size() + 1 : next + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> tokens = SplitTokens(line);
+    bool recognized = false;
+    if (tokens.size() == 3 &&
+        (tokens[0] == "counter" || tokens[0] == "gauge")) {
+      double value = 0.0;
+      if (ParseValue(tokens[2], &value)) {
+        Metric metric;
+        metric.kind = tokens[0];
+        metric.fields.push_back(Field{"value", tokens[2], value, false});
+        parsed.metrics[tokens[0] + " " + tokens[1]] = std::move(metric);
+        recognized = true;
+      }
+    } else if (tokens.size() >= 3 && tokens[0] == "hist") {
+      Metric metric;
+      metric.kind = "hist";
+      bool ok = true;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        const size_t eq = token.find('=');
+        const size_t tilde = token.find('~');
+        const size_t sep = std::min(eq, tilde);
+        if (sep == std::string::npos || sep == 0) {
+          ok = false;
+          break;
+        }
+        Field field;
+        field.name = token.substr(0, sep);
+        field.raw = token.substr(sep + 1);
+        field.approx = (tilde < eq);
+        if (field.name == "buckets") {
+          // Structural detail: a bucket shift always surfaces through the
+          // exact count/min/max or the approx quantiles, so the raw list
+          // is excluded from threshold comparison.
+          continue;
+        }
+        if (!ParseValue(field.raw, &field.value)) {
+          ok = false;
+          break;
+        }
+        metric.fields.push_back(std::move(field));
+      }
+      if (ok && !metric.fields.empty()) {
+        parsed.metrics["hist " + tokens[1]] = std::move(metric);
+        recognized = true;
+      }
+    }
+    if (!recognized) {
+      ++parsed.opaque[line];
+    }
+  }
+  return parsed;
+}
+
+const Field* FindField(const Metric& metric, const std::string& name) {
+  for (const Field& field : metric.fields) {
+    if (field.name == name) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+double RelativeDelta(double a, double b) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return scale == 0.0 ? 0.0 : std::fabs(a - b) / scale;
+}
+
+}  // namespace
+
+DiffResult DiffExports(const std::string& a, const std::string& b,
+                       const DiffOptions& options) {
+  const Export ea = ParseExport(a);
+  const Export eb = ParseExport(b);
+  DiffResult result;
+  std::string body;
+
+  // Union of metric keys, sorted (map order).
+  auto ia = ea.metrics.begin();
+  auto ib = eb.metrics.begin();
+  while (ia != ea.metrics.end() || ib != eb.metrics.end()) {
+    int side;  // <0: only in a, >0: only in b, 0: both
+    if (ia == ea.metrics.end()) {
+      side = 1;
+    } else if (ib == eb.metrics.end()) {
+      side = -1;
+    } else {
+      side = ia->first < ib->first ? -1 : (ib->first < ia->first ? 1 : 0);
+    }
+    if (side < 0) {
+      // Append-only taxonomy: a metric that disappeared is a breach.
+      body += "breach only-in-a " + ia->first + "\n";
+      ++result.breaches;
+      ++ia;
+      continue;
+    }
+    if (side > 0) {
+      body += "breach only-in-b " + ib->first + "\n";
+      ++result.breaches;
+      ++ib;
+      continue;
+    }
+    const std::string& key = ia->first;
+    const Metric& ma = ia->second;
+    const Metric& mb = ib->second;
+    for (const Field& fa : ma.fields) {
+      const Field* fb = FindField(mb, fa.name);
+      if (fb == nullptr) {
+        body += "breach missing-field-in-b " + key + " " + fa.name + "\n";
+        ++result.breaches;
+        continue;
+      }
+      ++result.compared;
+      if (fa.raw == fb->raw) {
+        continue;
+      }
+      ++result.changed;
+      const bool approx = fa.approx || fb->approx;
+      const double rel = RelativeDelta(fa.value, fb->value);
+      const double rel_limit = approx ? options.approx_rel : options.max_rel;
+      const double tolerance =
+          std::max(options.abs_eps,
+                   rel_limit * std::max(std::fabs(fa.value),
+                                        std::fabs(fb->value)));
+      const bool breach = std::fabs(fa.value - fb->value) > tolerance;
+      if (breach) {
+        ++result.breaches;
+      }
+      body += std::string(breach ? "breach " : "change ") + key + " " +
+              fa.name + (approx ? "~" : "") + " a=" + fa.raw +
+              " b=" + fb->raw + " rel=" + StableDouble(rel) + "\n";
+    }
+    for (const Field& fb : mb.fields) {
+      if (FindField(ma, fb.name) == nullptr) {
+        body += "breach missing-field-in-a " + key + " " + fb.name + "\n";
+        ++result.breaches;
+      }
+    }
+    ++ia;
+    ++ib;
+  }
+
+  // Opaque (non-grammar) lines must match exactly, including multiplicity.
+  auto oa = ea.opaque.begin();
+  auto ob = eb.opaque.begin();
+  while (oa != ea.opaque.end() || ob != eb.opaque.end()) {
+    int side;
+    if (oa == ea.opaque.end()) {
+      side = 1;
+    } else if (ob == eb.opaque.end()) {
+      side = -1;
+    } else {
+      side = oa->first < ob->first ? -1 : (ob->first < oa->first ? 1 : 0);
+    }
+    if (side < 0) {
+      body += "breach opaque-only-in-a " + oa->first + "\n";
+      ++result.breaches;
+      ++oa;
+      continue;
+    }
+    if (side > 0) {
+      body += "breach opaque-only-in-b " + ob->first + "\n";
+      ++result.breaches;
+      ++ob;
+      continue;
+    }
+    ++result.compared;
+    if (oa->second != ob->second) {
+      body += "breach opaque-count " + oa->first + "\n";
+      ++result.breaches;
+      ++result.changed;
+    }
+    ++oa;
+    ++ob;
+  }
+
+  std::string report = "# obs-diff: max-rel=" + StableDouble(options.max_rel) +
+                       " approx-rel=" + StableDouble(options.approx_rel) +
+                       " abs-eps=" + StableDouble(options.abs_eps) + "\n";
+  report += body;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "# summary: compared=%zu changed=%zu breaches=%zu %s\n",
+                result.compared, result.changed, result.breaches,
+                result.breaches == 0 ? "OK" : "BREACH");
+  report += buf;
+  result.report = std::move(report);
+  return result;
+}
+
+}  // namespace obs
+}  // namespace msprint

@@ -1,0 +1,63 @@
+// Run-to-run regression diffing of deterministic observability exports.
+//
+// DiffExports compares two text exports in the metrics grammar — `msprint
+// stats` output, `msprint explain` reports, committed bench baselines —
+// line by line:
+//
+//   counter <name> <uint64>
+//   gauge <name> <double>
+//   hist <name> count=.. rejected=.. min=.. max=.. mean~.. p50~.. p90~..
+//        p99~.. buckets=..
+//
+// `#`-prefixed lines are comments and are ignored. Fields rendered with
+// `=` are *exact-class* (integer counts, exact min/max, gauges) and are
+// compared under `max_rel` (default 0: any change is a breach). Fields
+// rendered with `~` are *approx-class* — log-bucket approximations whose
+// value can step by a whole bucket (10^(1/5) ≈ 1.585x) when one sample
+// crosses a boundary — and are compared under the looser `approx_rel`.
+// `buckets=` lists are structural detail and excluded from thresholding.
+//
+// A metric name present in only one export is always a breach: the
+// taxonomy is append-only, so a disappearing metric is a regression by
+// definition. Non-comment lines outside the grammar are compared as
+// opaque text (must match exactly).
+//
+// The report is byte-stable: same inputs + options => same bytes, so CI
+// can diff the diff.
+
+#ifndef MSPRINT_SRC_OBS_DIFF_H_
+#define MSPRINT_SRC_OBS_DIFF_H_
+
+#include <cstddef>
+#include <string>
+
+namespace msprint {
+namespace obs {
+
+struct DiffOptions {
+  // Max relative delta for exact-class fields before a breach. 0 means
+  // byte-exact agreement is required (the CI cross-pool-size gate).
+  double max_rel = 0.0;
+  // Max relative delta for `~` approx-class fields. The default tolerates
+  // one log-bucket step (rel delta ≈ 0.585) but not two (≈ 1.51).
+  double approx_rel = 0.75;
+  // Absolute slack applied before the relative test — keeps near-zero
+  // values from tripping on denormal-scale noise.
+  double abs_eps = 1e-9;
+};
+
+struct DiffResult {
+  std::string report;   // byte-stable human+machine readable delta report
+  size_t compared = 0;  // fields compared across both exports
+  size_t changed = 0;   // fields with any difference
+  size_t breaches = 0;  // fields (or missing metrics) beyond threshold
+  bool breached() const { return breaches > 0; }
+};
+
+DiffResult DiffExports(const std::string& a, const std::string& b,
+                       const DiffOptions& options = {});
+
+}  // namespace obs
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_OBS_DIFF_H_

@@ -55,5 +55,73 @@ std::string EventsToChromeTrace(const std::vector<Event>& events) {
   return out;
 }
 
+namespace {
+
+// Ticks (integer ns of sim time) to Chrome-trace microseconds.
+std::string TicksUs(SpanTicks ticks) {
+  return StableDouble(static_cast<double>(ticks) / 1e3);
+}
+
+void AppendSpanEvent(std::string& out, bool& first, const std::string& name,
+                     uint64_t tid, SpanTicks begin, int64_t duration,
+                     int64_t value_ticks) {
+  if (!first) {
+    out += ",\n";
+  }
+  first = false;
+  char buf[64];
+  out += "{\"name\":\"" + name + "\",\"cat\":\"span\",\"ph\":\"";
+  if (duration > 0) {
+    out += "X\",\"ts\":" + TicksUs(begin) + ",\"dur\":" + TicksUs(duration);
+  } else {
+    // Zero-length and negative (savings) components render as instants.
+    out += "i\",\"s\":\"t\",\"ts\":" + TicksUs(begin);
+  }
+  std::snprintf(buf, sizeof(buf), ",\"pid\":2,\"tid\":%" PRIu64, tid);
+  out += buf;
+  out += ",\"args\":{\"seconds\":" + FormatTicksSeconds(value_ticks) + "}}";
+}
+
+}  // namespace
+
+std::string SpansToChromeTrace(const std::vector<QuerySpan>& spans) {
+  std::string out = "[";
+  bool first = true;
+  for (const QuerySpan& span : spans) {
+    const uint64_t tid = span.id;
+    AppendSpanEvent(out, first, "query", tid, span.arrival,
+                    span.ResponseTicks(), span.ResponseTicks());
+    // Attribution strip: components laid end-to-end from arrival. With the
+    // additive identity and non-negative components the strip ends exactly
+    // at depart; negative savings shorten it and render as instants.
+    SpanTicks cursor = span.arrival;
+    for (size_t i = 0; i < kNumSpanComponents; ++i) {
+      const int64_t ticks = span.components[i];
+      AppendSpanEvent(out, first, ToString(static_cast<SpanComponent>(i)),
+                      tid, cursor, ticks, ticks);
+      if (static_cast<SpanComponent>(i) == SpanComponent::kService) {
+        SpanTicks phase_cursor = cursor;
+        for (uint32_t p = 0; p < span.num_phases; ++p) {
+          char name[32];
+          std::snprintf(name, sizeof(name), "phase-%" PRIu32, p);
+          AppendSpanEvent(out, first, name, tid, phase_cursor,
+                          span.phases[p].ticks, span.phases[p].ticks);
+          phase_cursor += span.phases[p].ticks;
+        }
+      }
+      if (ticks > 0) {
+        cursor += ticks;
+      }
+    }
+    if (span.sprinted && span.sprint_begin >= 0) {
+      AppendSpanEvent(out, first, "episode", tid, span.sprint_begin,
+                      span.depart - span.sprint_begin,
+                      span.depart - span.sprint_begin);
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
 }  // namespace obs
 }  // namespace msprint

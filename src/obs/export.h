@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/obs/recorder.h"
+#include "src/obs/span.h"
 
 namespace msprint {
 namespace obs {
@@ -25,6 +26,16 @@ std::string EventsToJsonl(const std::vector<Event>& events);
 // microseconds of simulated time; pid is 1 and tid is the subsystem index
 // so each subsystem renders as its own track.
 std::string EventsToChromeTrace(const std::vector<Event>& events);
+
+// Chrome tracing JSON array of nested query spans. Each query renders as
+// its own track (pid 2, tid = query id) with a root "query" span over
+// [arrival, depart], a nested attribution strip laid end-to-end from
+// arrival (component spans are counterfactual durations, not wall
+// intervals — the strip visualizes the additive decomposition), phase
+// children under the service component, and an "episode" span over the
+// actual sprint window when the query sprinted. Negative components
+// (sprint savings) render as instants carrying the signed value in args.
+std::string SpansToChromeTrace(const std::vector<QuerySpan>& spans);
 
 }  // namespace obs
 }  // namespace msprint

@@ -151,6 +151,26 @@ LogHistogram Histogram::Merged() const {
   return merged;
 }
 
+HistogramSnapshot SummarizeLogHistogram(std::string name,
+                                        const LogHistogram& histogram) {
+  HistogramSnapshot h;
+  h.name = std::move(name);
+  h.count = histogram.count();
+  h.rejected = histogram.rejected();
+  h.min = histogram.min();
+  h.max = histogram.max();
+  h.approx_mean = histogram.ApproxMean();
+  h.p50 = histogram.ApproxQuantile(0.50);
+  h.p90 = histogram.ApproxQuantile(0.90);
+  h.p99 = histogram.ApproxQuantile(0.99);
+  for (size_t i = 0; i < histogram.buckets().size(); ++i) {
+    if (histogram.buckets()[i] > 0) {
+      h.nonzero_buckets.emplace_back(i, histogram.buckets()[i]);
+    }
+  }
+  return h;
+}
+
 // --------------------------------------------------------------- Registry
 
 MetricsRegistry::MetricsRegistry(size_t shards)
@@ -203,23 +223,8 @@ MetricsSnapshot MetricsRegistry::Snapshot(bool include_timing) const {
     if (!include_timing && histogram->determinism() != Determinism::kStable) {
       continue;
     }
-    const LogHistogram merged = histogram->Merged();
-    HistogramSnapshot h;
-    h.name = name;
-    h.count = merged.count();
-    h.rejected = merged.rejected();
-    h.min = merged.min();
-    h.max = merged.max();
-    h.approx_mean = merged.ApproxMean();
-    h.p50 = merged.ApproxQuantile(0.50);
-    h.p90 = merged.ApproxQuantile(0.90);
-    h.p99 = merged.ApproxQuantile(0.99);
-    for (size_t i = 0; i < merged.buckets().size(); ++i) {
-      if (merged.buckets()[i] > 0) {
-        h.nonzero_buckets.emplace_back(i, merged.buckets()[i]);
-      }
-    }
-    snapshot.histograms.push_back(std::move(h));
+    snapshot.histograms.push_back(
+        SummarizeLogHistogram(name, histogram->Merged()));
   }
   return snapshot;
 }

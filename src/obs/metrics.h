@@ -115,6 +115,13 @@ struct HistogramSnapshot {
   std::vector<std::pair<size_t, uint64_t>> nonzero_buckets;
 };
 
+// Summarizes a LogHistogram into an exported HistogramSnapshot — the same
+// summary Snapshot() computes for registry histograms. Reused by the span
+// attribution layer so its `hist` lines render byte-identically to
+// registry exports (and parse under the same obs-diff grammar).
+HistogramSnapshot SummarizeLogHistogram(std::string name,
+                                        const LogHistogram& histogram);
+
 // A point-in-time export of a registry, sorted by metric name. Rendering
 // is byte-stable: identical metric values produce identical bytes.
 struct MetricsSnapshot {

@@ -21,6 +21,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
+#include "src/obs/span.h"
 
 namespace msprint {
 namespace obs {
@@ -28,13 +29,18 @@ namespace obs {
 // Currently attached sinks; nullptr when observability is idle.
 MetricsRegistry* ActiveMetrics();
 FlightRecorder* ActiveRecorder();
+SpanCollector* ActiveSpans();
 
 // RAII attach/detach. Constructing with nullptrs is allowed (useful to
 // mask an outer session). The previous attachment is restored on
-// destruction, so sessions nest like a stack.
+// destruction, so sessions nest like a stack. The two-argument form masks
+// any outer span collector, matching its masking of metrics/recorder.
 class ObsSession {
  public:
-  ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder);
+  ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder)
+      : ObsSession(metrics, recorder, nullptr) {}
+  ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder,
+             SpanCollector* spans);
   ~ObsSession();
 
   ObsSession(const ObsSession&) = delete;
@@ -43,6 +49,7 @@ class ObsSession {
  private:
   MetricsRegistry* previous_metrics_;
   FlightRecorder* previous_recorder_;
+  SpanCollector* previous_spans_;
 };
 
 // --- instrumentation helpers -------------------------------------------
@@ -77,6 +84,14 @@ inline void SetGauge(const char* name, double value,
 inline void Emit(const Event& event) {
   if (FlightRecorder* recorder = ActiveRecorder()) {
     recorder->Record(event);
+  }
+}
+
+// Records one query span. Like Emit, only call from serial deterministic
+// code; batch paths should check ActiveSpans() once and use RecordBatch.
+inline void RecordSpan(const QuerySpan& span) {
+  if (SpanCollector* spans = ActiveSpans()) {
+    spans->Record(span);
   }
 }
 

@@ -1,0 +1,159 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace msprint {
+namespace obs {
+
+std::string FormatTicksSeconds(SpanTicks ticks) {
+  const char* sign = ticks < 0 ? "-" : "";
+  const uint64_t mag = ticks < 0 ? -static_cast<uint64_t>(ticks)
+                                 : static_cast<uint64_t>(ticks);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%09" PRIu64, sign,
+                mag / 1000000000u, mag % 1000000000u);
+  return buf;
+}
+
+std::string ToString(SpanComponent component) {
+  switch (component) {
+    case SpanComponent::kQueueWait:
+      return "queue-wait";
+    case SpanComponent::kService:
+      return "service";
+    case SpanComponent::kInterference:
+      return "interference";
+    case SpanComponent::kFaultDelay:
+      return "fault-delay";
+    case SpanComponent::kToggleOverhead:
+      return "toggle-overhead";
+    case SpanComponent::kSprintDelta:
+      return "sprint-delta";
+  }
+  return "unknown";
+}
+
+int64_t QuerySpan::ComponentSum() const {
+  int64_t sum = 0;
+  for (int64_t c : components) sum += c;
+  return sum;
+}
+
+int64_t QuerySpan::PhaseSum() const {
+  int64_t sum = 0;
+  for (uint32_t p = 0; p < num_phases; ++p) sum += phases[p].ticks;
+  return sum;
+}
+
+QuerySpan BuildQuerySpan(const SpanInputs& in) {
+  // QuerySpan is intentionally uninitialized (see span.h); every field is
+  // written below, including the unused tail of the phase array.
+  QuerySpan span;
+  span.id = in.id;
+  span.klass = in.klass;
+  span.arrival = TicksFromSeconds(in.arrival);
+  span.start = TicksFromSeconds(in.start);
+  span.depart = TicksFromSeconds(in.depart);
+  span.sprint_begin =
+      in.sprint_begin >= 0.0 ? TicksFromSeconds(in.sprint_begin) : -1;
+  span.sprinted = in.sprinted;
+  span.timed_out = in.timed_out;
+  span.sprint_aborted = in.sprint_aborted;
+
+  // Counterfactual milestone chain in sim seconds. The arithmetic mirrors
+  // the testbed's effective-service expression
+  //   service_time * load_factor * fault_multiplier
+  // (same association order), so for a never-sprinted query the final
+  // milestone reproduces the scheduled departure double bit-for-bit and
+  // kSprintDelta is exactly zero.
+  const double loaded = in.service_time * in.load_factor;
+  const double m_service = in.start + in.service_time;
+  const double m_interference = in.start + loaded;
+  const double m_fault = in.start + loaded * in.fault_multiplier;
+  const double m_toggle = m_fault + in.toggle_seconds;
+
+  // An identity factor makes consecutive milestones equal as doubles, so
+  // reusing the previous tick count is bit-identical and skips a
+  // quantization on the hot path (most queries pay no fault or toggle).
+  const SpanTicks t_service = TicksFromSeconds(m_service);
+  const SpanTicks t_interference = in.load_factor == 1.0
+                                       ? t_service
+                                       : TicksFromSeconds(m_interference);
+  const SpanTicks t_fault = in.fault_multiplier == 1.0
+                                ? t_interference
+                                : TicksFromSeconds(m_fault);
+  const SpanTicks t_toggle =
+      in.toggle_seconds == 0.0 ? t_fault : TicksFromSeconds(m_toggle);
+
+  auto& c = span.components;
+  c[static_cast<size_t>(SpanComponent::kQueueWait)] = span.start - span.arrival;
+  c[static_cast<size_t>(SpanComponent::kService)] = t_service - span.start;
+  c[static_cast<size_t>(SpanComponent::kInterference)] =
+      t_interference - t_service;
+  c[static_cast<size_t>(SpanComponent::kFaultDelay)] =
+      t_fault - t_interference;
+  c[static_cast<size_t>(SpanComponent::kToggleOverhead)] = t_toggle - t_fault;
+  c[static_cast<size_t>(SpanComponent::kSprintDelta)] = span.depart - t_toggle;
+
+  const size_t n = in.phase_fractions != nullptr
+                       ? std::min(in.num_phases, kMaxSpanPhases)
+                       : 0;
+  span.num_phases = static_cast<uint32_t>(n);
+  // Fixed-size clear (the compiler emits straight-line vector stores; a
+  // variable-length tail loop became a `rep stos` whose startup dominated
+  // the hot path), then overwrite the used entries.
+  span.phases = {};
+  double cumulative = 0.0;
+  SpanTicks prev = span.start;
+  for (size_t p = 0; p < n; ++p) {
+    cumulative += in.phase_fractions[p];
+    // Pin the last boundary to the service milestone so phase ticks sum
+    // exactly to the service component even when fractions don't sum to
+    // 1.0 in floating point.
+    const SpanTicks boundary =
+        (p + 1 == n)
+            ? t_service
+            : TicksFromSeconds(in.start +
+                               in.service_time * std::min(cumulative, 1.0));
+    span.phases[p].ticks = boundary - prev;
+    prev = boundary;
+  }
+  return span;
+}
+
+void SpanCollector::Record(const QuerySpan& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(span);
+}
+
+void SpanCollector::RecordBatch(std::vector<QuerySpan>&& spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.empty()) {
+    spans_ = std::move(spans);
+  } else {
+    spans_.insert(spans_.end(), spans.begin(), spans.end());
+  }
+}
+
+std::vector<QuerySpan> SpanCollector::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<QuerySpan> SpanCollector::TakeSpans() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QuerySpan> out = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+uint64_t SpanCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+}  // namespace obs
+}  // namespace msprint

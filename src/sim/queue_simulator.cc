@@ -16,7 +16,14 @@ double SimResult::MedianResponseTime() const {
 }
 
 double SimResult::PercentileResponseTime(double q) const {
-  return Quantile(response_times, q);
+  if (std::isnan(q)) {
+    throw std::invalid_argument(
+        "PercentileResponseTime: quantile fraction must not be NaN");
+  }
+  if (response_times.empty()) {
+    return 0.0;
+  }
+  return Quantile(response_times, std::clamp(q, 0.0, 1.0));
 }
 
 namespace {
@@ -217,6 +224,33 @@ SimResult SimulateQueue(const SimConfig& config,
   obs::Count("sim/queries", n - first);
   obs::Count("sim/sprinted", sprinted);
   obs::Count("sim/timed_out", timed_out);
+
+  // Span recording needs the explicit opt-in on top of an attached
+  // collector: simulations also run on pool workers while an ObsSession is
+  // live, and spans — like flight-recorder events — may only come from
+  // serial deterministic call sites.
+  if (config.record_spans) {
+    if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
+      std::vector<obs::QuerySpan> spans;
+      spans.reserve(n - first);
+      for (size_t i = first; i < n; ++i) {
+        const SimQuery& q = queries[i];
+        obs::SpanInputs in;
+        in.id = i;
+        in.arrival = q.arrival;
+        in.start = q.start;
+        in.depart = q.depart;
+        // The simulator models no phases, interference or faults: the
+        // whole decomposition is queue wait + service + sprint delta.
+        in.service_time = q.service_time;
+        in.sprint_begin = q.sprinted ? sprint_begin[i] : -1.0;
+        in.sprinted = q.sprinted;
+        in.timed_out = q.timed_out;
+        spans.push_back(obs::BuildQuerySpan(in));
+      }
+      span_sink->RecordBatch(std::move(spans));
+    }
+  }
 
   if (trace_out != nullptr) {
     *trace_out = std::move(queries);

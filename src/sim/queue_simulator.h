@@ -63,6 +63,14 @@ struct SimConfig {
   size_t warmup_queries = 0;  // excluded from the reported statistics
 
   uint64_t seed = 1;
+
+  // When true AND a span collector is attached (obs::ActiveSpans), the
+  // post-warmup queries are recorded as attribution spans. Off by default
+  // because simulations also run on pool workers (replications, SA chains)
+  // while an ObsSession is live, and span recording — like the flight
+  // recorder — is reserved for serial deterministic paths; only serial
+  // call sites (e.g. `msprint explain --profile`) should set this.
+  bool record_spans = false;
 };
 
 // Per-query record emitted by a simulation.

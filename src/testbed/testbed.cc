@@ -54,7 +54,14 @@ std::vector<double> RunTrace::ResponseTimes() const {
 double RunTrace::MedianResponseTime() const { return Median(ResponseTimes()); }
 
 double RunTrace::PercentileResponseTime(double q) const {
-  return Quantile(ResponseTimes(), q);
+  if (std::isnan(q)) {
+    throw std::invalid_argument(
+        "PercentileResponseTime: quantile fraction must not be NaN");
+  }
+  if (queries.empty()) {
+    return 0.0;
+  }
+  return Quantile(ResponseTimes(), std::clamp(q, 0.0, 1.0));
 }
 
 double Testbed::SustainedRatePerSecond(const QueryMix& mix,
@@ -172,6 +179,13 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   std::vector<uint64_t> stamps(n, 0);
   // Effective sustained duration including load overhead, set at dispatch.
   std::vector<double> effective_service(n, 0.0);
+  // Span attribution bookkeeping: the multiplicative pieces of the
+  // effective service time and the toggle latency each query paid, kept
+  // per query so the post-run span sweep can decompose response times
+  // exactly (see src/obs/span.h).
+  std::vector<double> span_load_factor(n, 1.0);
+  std::vector<double> span_fault_multiplier(n, 1.0);
+  std::vector<double> span_toggle_seconds(n, 0.0);
   // Sprint-abort bookkeeping: which queries are currently executing, which
   // had their sprint aborted by a breaker trip, and how much sustained-rate
   // work remained when the sprint engaged.
@@ -222,9 +236,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     if (h_queue_depth != nullptr) {
       h_queue_depth->Record(static_cast<double>(queue_len_at_dispatch));
     }
-    effective_service[qi] = q.service_time *
-                            LoadOverheadFactor(queue_len_at_dispatch) *
-                            injector.ServiceMultiplier(qi, now);
+    // Same association order as `service * load * fault` so the span
+    // sweep's counterfactual milestones reproduce this double exactly.
+    span_load_factor[qi] = LoadOverheadFactor(queue_len_at_dispatch);
+    span_fault_multiplier[qi] = injector.ServiceMultiplier(qi, now);
+    effective_service[qi] =
+        q.service_time * span_load_factor[qi] * span_fault_multiplier[qi];
 
     if (config.force_full_sprint) {
       // Marginal-rate profiling: the mechanism is engaged before dispatch,
@@ -249,6 +266,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         sustained_remaining_at_sprint[qi] = effective_service[qi];
         // Sprint engages as the query starts; the toggle happens during
         // dispatch and is cheaper than a mid-flight toggle, but not free.
+        span_toggle_seconds[qi] = 0.5 * mechanism->ToggleLatencySeconds();
         const double duration =
             0.5 * mechanism->ToggleLatencySeconds() +
             SprintedRemainingSeconds(spec, *mechanism, 0.0,
@@ -296,6 +314,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           (1.0 - done_fraction) * sustained_remaining_at_sprint[qi];
       sprint_aborted[qi] = 1;
       q.sprint_seconds = elapsed;
+      span_toggle_seconds[qi] += mechanism->ToggleLatencySeconds();
       budget.ConsumeAllowingDebt(now, elapsed);
       schedule_departure(qi, now + mechanism->ToggleLatencySeconds() +
                                  remaining_sustained);
@@ -353,6 +372,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           sustained_remaining_at_sprint[ev.query] =
               (1.0 - std::clamp(progress, 0.0, 1.0)) *
               effective_service[ev.query];
+          span_toggle_seconds[ev.query] = mechanism->ToggleLatencySeconds();
           const double duration =
               mechanism->ToggleLatencySeconds() +
               SprintedRemainingSeconds(spec, *mechanism, progress,
@@ -438,6 +458,42 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   trace.fraction_sprinted = count > 0 ? sprinted / count : 0.0;
   trace.fraction_timed_out = count > 0 ? timed_out / count : 0.0;
   trace.fault_trace = injector.TakeTrace();
+
+  // Span sweep: when a collector is attached, decompose every post-warmup
+  // query (the same slice as trace.queries, in id order) into exact causal
+  // components. Serial code, sim-time stamps, one batch append — the run
+  // pays nothing when no collector is attached.
+  if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
+    std::vector<obs::QuerySpan> spans;
+    spans.reserve(n - first);
+    for (size_t qi = first; qi < n; ++qi) {
+      const Query& q = queries[qi];
+      const auto& phases = catalog.spec(q.workload).phases;
+      double fractions[obs::kMaxSpanPhases];
+      const size_t num_phases = std::min(phases.size(), obs::kMaxSpanPhases);
+      for (size_t p = 0; p < num_phases; ++p) {
+        fractions[p] = phases[p].work_fraction;
+      }
+      obs::SpanInputs in;
+      in.id = q.id;
+      in.klass = static_cast<uint32_t>(q.workload);
+      in.arrival = q.arrival;
+      in.start = q.start;
+      in.depart = q.depart;
+      in.service_time = q.service_time;
+      in.load_factor = span_load_factor[qi];
+      in.fault_multiplier = span_fault_multiplier[qi];
+      in.toggle_seconds = span_toggle_seconds[qi];
+      in.sprint_begin = q.sprinted ? q.sprint_begin : -1.0;
+      in.sprinted = q.sprinted;
+      in.timed_out = q.timed_out;
+      in.sprint_aborted = sprint_aborted[qi] != 0;
+      in.phase_fractions = fractions;
+      in.num_phases = num_phases;
+      spans.push_back(obs::BuildQuerySpan(in));
+    }
+    span_sink->RecordBatch(std::move(spans));
+  }
   return trace;
 }
 

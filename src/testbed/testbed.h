@@ -88,6 +88,9 @@ struct RunTrace {
 
   std::vector<double> ResponseTimes() const;
   double MedianResponseTime() const;
+  // Response-time quantile. q is clamped to [0, 1] (so q=0 is the minimum
+  // and q=1 the maximum); a NaN q throws std::invalid_argument; an empty
+  // trace returns 0.0.
   double PercentileResponseTime(double q) const;
 };
 

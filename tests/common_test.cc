@@ -166,6 +166,16 @@ TEST(StatsTest, QuantileThrowsOnEmpty) {
   EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
 }
 
+TEST(StatsTest, QuantileClampsFractionAndRejectsNaN) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.5), 4.0);
+  // A NaN fraction survives clamping and casting it to an index is UB, so
+  // it is rejected up front.
+  EXPECT_THROW(Quantile(values, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
 TEST(StatsTest, AbsoluteRelativeError) {
   EXPECT_DOUBLE_EQ(AbsoluteRelativeError(110.0, 100.0), 0.1);
   EXPECT_DOUBLE_EQ(AbsoluteRelativeError(90.0, 100.0), 0.1);

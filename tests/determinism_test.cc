@@ -19,10 +19,12 @@
 #include "src/fault/fault.h"
 #include "src/ml/linear_regression.h"
 #include "src/ml/random_forest.h"
+#include "src/obs/attrib.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/recorder.h"
+#include "src/obs/span.h"
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
 #include "src/sim/queue_simulator.h"
@@ -371,6 +373,101 @@ TEST(DeterminismTest, ObsExportsByteIdenticalForAnyPoolSize) {
     EXPECT_EQ(result.chrome, reference.chrome)
         << "chrome trace diverged at pool size " << pool_size;
   }
+}
+
+TEST(DeterminismTest, SpanAttributionByteIdenticalForAnyPoolSize) {
+  const ConvexModel model(140.0);
+  const WorkloadProfile profile = DummyProfile();
+
+  // The explain pipeline: drive an advisor (multi-chain exploration fans
+  // out on the pool), simulate under its recommendation with span
+  // recording opted in, and render the attribution report. Spans come only
+  // from the serial simulator path with sim-time stamps, so the full
+  // report — histograms, critical path, top-K span trees — must be
+  // byte-identical for any pool size.
+  auto run = [&](ThreadPool* pool) {
+    AdvisorConfig config;
+    config.rate_window_seconds = 400.0;
+    config.explore.max_iterations = 160;
+    config.explore.num_chains = 4;
+    config.explore.seed = 5;
+    config.pool = pool;
+    config.fallback_sim = {600, 60, 1, 97};
+    OnlineAdvisor advisor(model, profile, config);
+    double t = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      t += 20.0;
+      advisor.OnArrival(t);
+      advisor.Recommend(t);
+    }
+    const auto rec = advisor.Recommend(t);
+
+    obs::SpanCollector collector;
+    obs::ObsSession session(nullptr, nullptr, &collector);
+    const EmpiricalDistribution service(profile.service_time_samples);
+    SimConfig sim;
+    sim.arrival_rate_per_second = 0.01;
+    sim.service = &service;
+    sim.sprint_speedup = 1.4;
+    sim.timeout_seconds = rec.has_value() ? rec->timeout_seconds : 60.0;
+    sim.num_queries = 800;
+    sim.warmup_queries = 80;
+    sim.seed = 9;
+    sim.record_spans = true;
+    SimulateQueue(sim);
+    return obs::FormatAttribution(
+        obs::Attribute(collector.TakeSpans(), obs::AttributionOptions{}));
+  };
+
+  ThreadPool serial(1);
+  const std::string reference = run(&serial);
+  ASSERT_NE(reference.find("counter span/queries"), std::string::npos);
+  ASSERT_NE(reference.find("counter span/identity-violations 0"),
+            std::string::npos);
+  for (size_t pool_size : PoolSizesUnderTest()) {
+    ThreadPool pool(pool_size);
+    EXPECT_EQ(run(&pool), reference)
+        << "span attribution diverged at pool size " << pool_size;
+  }
+}
+
+TEST(DeterminismTest, FaultStormSpanExportsByteIdentical) {
+  // Two identical fault-storm testbed runs with span recording attached:
+  // the attribution report and the nested-span chrome trace must agree
+  // byte for byte, and every recorded query must satisfy the additive
+  // identity exactly.
+  TestbedConfig config;
+  config.mix = QueryMix::Single(WorkloadId::kJacobi);
+  config.policy.timeout_seconds = 40.0;
+  config.utilization = 0.6;
+  config.num_queries = 1000;
+  config.warmup_queries = 100;
+  config.seed = 77;
+  config.faults.toggle_failure_probability = 0.2;
+  config.faults.breaker_trips_per_hour = 4.0;
+  config.faults.outlier_probability = 0.05;
+  config.faults.flash_crowds_per_hour = 1.0;
+
+  auto run = [&] {
+    obs::SpanCollector collector;
+    obs::ObsSession session(nullptr, nullptr, &collector);
+    Testbed::Run(config);
+    const std::vector<obs::QuerySpan> spans = collector.TakeSpans();
+    size_t violations = 0;
+    for (const obs::QuerySpan& span : spans) {
+      if (!span.IdentityHolds()) ++violations;
+    }
+    EXPECT_EQ(violations, 0u);
+    return std::make_pair(
+        obs::FormatAttribution(
+            obs::Attribute(spans, obs::AttributionOptions{})),
+        obs::SpansToChromeTrace(spans));
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_NE(a.first.find("counter span/queries 900"), std::string::npos);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
 }
 
 TEST(DeterminismTest, FaultStormObsSnapshotByteIdentical) {

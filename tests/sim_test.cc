@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "src/common/thread_pool.h"
 #include "src/sim/queue_simulator.h"
@@ -269,6 +271,22 @@ TEST(SimBookkeepingTest, ResultPercentilesMatchVector) {
                    Median(result.response_times));
   EXPECT_DOUBLE_EQ(result.PercentileResponseTime(0.99),
                    Quantile(result.response_times, 0.99));
+}
+
+TEST(SimBookkeepingTest, PercentileHasDefinedEdgeBehavior) {
+  const SimResult empty;
+  EXPECT_DOUBLE_EQ(empty.PercentileResponseTime(0.5), 0.0);
+
+  SimResult result;
+  result.response_times = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(result.PercentileResponseTime(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(result.PercentileResponseTime(1.0), 3.0);
+  // Out-of-range fractions clamp; NaN is rejected, never cast to an index.
+  EXPECT_DOUBLE_EQ(result.PercentileResponseTime(-2.0), 1.0);
+  EXPECT_DOUBLE_EQ(result.PercentileResponseTime(5.0), 3.0);
+  EXPECT_THROW(result.PercentileResponseTime(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(SimBookkeepingTest, FifoOrderPreserved) {

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "src/testbed/testbed.h"
 
@@ -195,6 +198,31 @@ TEST(TestbedTest, InvalidConfigThrows) {
   config = BaseConfig(WorkloadId::kJacobi);
   config.slots = 0;
   EXPECT_THROW(Testbed::Run(config), std::invalid_argument);
+}
+
+TEST(TestbedTest, PercentileResponseTimeHasDefinedEdgeBehavior) {
+  // An empty trace reports 0.0 rather than indexing into nothing.
+  const RunTrace empty;
+  EXPECT_DOUBLE_EQ(empty.PercentileResponseTime(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.PercentileResponseTime(-1.0), 0.0);
+
+  TestbedConfig config = BaseConfig(WorkloadId::kJacobi);
+  config.num_queries = 300;
+  config.warmup_queries = 30;
+  const RunTrace trace = Testbed::Run(config);
+  const std::vector<double> times = trace.ResponseTimes();
+  ASSERT_FALSE(times.empty());
+  const double min = *std::min_element(times.begin(), times.end());
+  const double max = *std::max_element(times.begin(), times.end());
+  EXPECT_DOUBLE_EQ(trace.PercentileResponseTime(0.0), min);
+  EXPECT_DOUBLE_EQ(trace.PercentileResponseTime(1.0), max);
+  // Out-of-range fractions clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(trace.PercentileResponseTime(-0.5), min);
+  EXPECT_DOUBLE_EQ(trace.PercentileResponseTime(2.0), max);
+  // NaN is a caller bug and is rejected loudly, never cast to an index.
+  EXPECT_THROW(trace.PercentileResponseTime(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(TestbedTest, CoreScalePlatformSlowerSustainedButSprints) {

@@ -48,14 +48,33 @@
 //       text (one line per event), JSONL, or Chrome tracing JSON for
 //       chrome://tracing / Perfetto.
 //
+//   msprint explain [--profile F | --workload W] [--top K]
+//       [--format text|chrome]
+//       Per-query causal attribution of a seeded run: exact signed span
+//       components (queue wait, service phases, interference, fault delay,
+//       toggle overhead, sprint delta) that sum bit-for-bit to each
+//       query's response time, aggregated into a byte-stable report with
+//       the top-K slowest span trees. Without --profile the fault-capable
+//       testbed runs (same flags as `faults`); with --profile the advisor
+//       is driven to a recommendation and the recommended policy is
+//       replayed through the serial queue simulator.
+//
+//   msprint obs-diff <a> <b> [--max-rel X --approx-rel X --abs-eps X]
+//       Compare two exports (stats snapshots, explain reports, bench
+//       baselines) field by field and print a byte-stable delta report.
+//       Exits 3 when any delta breaches the thresholds.
+//
 // Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
-// unknown command). `msprint help` / `--help` print usage on stdout and
-// exit 0; a bad invocation prints usage on stderr and exits 2.
+// unknown command), 3 obs-diff threshold breach. `msprint help` / `--help`
+// print usage on stdout and exit 0; a bad invocation prints usage on
+// stderr and exits 2.
 
 #include <cmath>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +83,8 @@
 #include "src/core/analytic_model.h"
 #include "src/core/effective_rate.h"
 #include "src/explore/explorer.h"
+#include "src/obs/attrib.h"
+#include "src/obs/diff.h"
 #include "src/obs/export.h"
 #include "src/obs/obs.h"
 #include "src/online/advisor.h"
@@ -123,6 +144,12 @@ size_t ParseSizeFlag(const std::string& name, const std::string& text) {
 
 class Flags {
  public:
+  // Boolean flags may appear bare (`--include-timing`) or with an explicit
+  // 0/1 value; every other flag requires a value.
+  static bool IsBooleanFlag(const std::string& name) {
+    return name == "include-timing";
+  }
+
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
@@ -130,6 +157,18 @@ class Flags {
         throw std::runtime_error("expected --flag, got: " + arg);
       }
       arg = arg.substr(2);
+      if (IsBooleanFlag(arg)) {
+        std::string value = "1";
+        if (i + 1 < argc) {
+          const std::string next = argv[i + 1];
+          if (next == "0" || next == "1") {
+            value = next;
+            ++i;
+          }
+        }
+        values_[arg] = value;
+        continue;
+      }
       if (i + 1 >= argc) {
         throw FlagError(arg, "missing value");
       }
@@ -584,7 +623,9 @@ int CmdStats(const Flags& flags) {
   RunObserved(flags, metrics, recorder);
   // Timing metrics (wall-clock) are opt-in: the default export is the
   // deterministic one that CI byte-diffs across pool sizes.
-  const bool timing = flags.GetSize("timing", 0) != 0;
+  // `--include-timing` is the boolean spelling; `--timing 1` still works.
+  const bool timing = flags.GetSize("timing", 0) != 0 ||
+                      flags.GetSize("include-timing", 0) != 0;
   const obs::MetricsSnapshot snapshot = metrics.Snapshot(timing);
   const std::string format = flags.GetString("format", "text");
   if (format == "text") {
@@ -631,6 +672,98 @@ int CmdTrace(const Flags& flags) {
   return 0;
 }
 
+// Attribution for a seeded run: collect spans from the serial testbed (or
+// the serial simulator under the advisor's recommended policy) and print
+// the byte-stable attribution report or a Chrome trace of nested spans.
+int CmdExplain(const Flags& flags) {
+  obs::AttributionOptions options;
+  options.top_k = flags.GetSize("top", 5);
+  const std::string format = flags.GetString("format", "text");
+  if (format != "text" && format != "chrome") {
+    throw FlagError("format", "expected text|chrome, got '" + format + "'");
+  }
+
+  obs::SpanCollector collector;
+  std::string policy_comment;
+  if (flags.Has("profile")) {
+    // Train, drive the advisor to a standing recommendation, then replay
+    // the recommended policy through the timeout-aware simulator —
+    // serially, so span recording keeps the determinism contract.
+    const WorkloadProfile profile =
+        LoadProfileFromFile(flags.GetString("profile"));
+    const AdvisorConfig config = AdvisorConfigFromFlags(flags);
+    std::cerr << "training hybrid model on " << profile.rows.size()
+              << " rows...\n";
+    const HybridModel model =
+        HybridModel::Train({&profile}, {}, config.fallback_sim);
+    OnlineAdvisor advisor(model, profile, config);
+    SprintBudget budget = SprintBudget::FromFraction(
+        config.base.budget_fraction, config.base.refill_seconds);
+    persist::DriveState state;
+    state.seed = flags.GetSize("seed", 1);
+    state = DriveSteps(advisor, budget, state, flags.GetSize("steps", 40),
+                       /*out=*/nullptr);
+    const auto rec = advisor.Recommend(state.clock_seconds);
+
+    ModelInput input = config.base;
+    input.utilization = flags.GetDouble("utilization", 0.6);
+    input.timeout_seconds = rec.has_value()
+                                ? rec->timeout_seconds
+                                : flags.GetDouble("timeout", 60.0);
+    const double mu_e_qph = model.PredictEffectiveRateQph(profile, input);
+    const double speedup = std::max(
+        1.0, mu_e_qph / (profile.service_rate_per_second * kSecondsPerHour));
+    const EmpiricalDistribution service(profile.service_time_samples);
+    const size_t sim_queries = flags.GetSize("queries", 2000);
+    SimConfig sim =
+        BuildSimConfig(profile, input, service, speedup, sim_queries,
+                       sim_queries / 10, flags.GetSize("seed", 1));
+    sim.record_spans = true;
+    obs::ObsSession session(nullptr, nullptr, &collector);
+    (void)SimulateQueue(sim);
+    policy_comment =
+        "# policy rung=" +
+        (rec.has_value() ? std::string(ToString(rec->rung)) : "-") +
+        " timeout=" + obs::StableDouble(input.timeout_seconds) +
+        " speedup=" + obs::StableDouble(speedup) + "\n";
+  } else {
+    const TestbedConfig config = TestbedConfigFromFlags(flags);
+    obs::ObsSession session(nullptr, nullptr, &collector);
+    (void)Testbed::Run(config);
+  }
+
+  const std::vector<obs::QuerySpan> spans = collector.TakeSpans();
+  if (format == "chrome") {
+    std::cout << obs::SpansToChromeTrace(spans);
+    return 0;
+  }
+  const obs::AttributionReport report = obs::Attribute(spans, options);
+  std::cout << policy_comment << obs::FormatAttribution(report);
+  return 0;
+}
+
+std::string ReadFileOrThrow(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int CmdObsDiff(const std::string& path_a, const std::string& path_b,
+               const Flags& flags) {
+  obs::DiffOptions options;
+  options.max_rel = flags.GetDouble("max-rel", options.max_rel);
+  options.approx_rel = flags.GetDouble("approx-rel", options.approx_rel);
+  options.abs_eps = flags.GetDouble("abs-eps", options.abs_eps);
+  const obs::DiffResult result = obs::DiffExports(
+      ReadFileOrThrow(path_a), ReadFileOrThrow(path_b), options);
+  std::cout << result.report;
+  return result.breached() ? 3 : 0;
+}
+
 void PrintUsage(std::ostream& out) {
   out <<
       "usage: msprint <command> [--flags]\n"
@@ -652,13 +785,22 @@ void PrintUsage(std::ostream& out) {
       "  restore   --checkpoint F [--steps N --out F]\n"
       "            (warm-restart the advisor and continue the drive)\n"
       "  stats     [--profile F | --workload W] [--format text|json\n"
-      "            --timing 1 --steps N --seed S ...]   (deterministic\n"
-      "            metrics snapshot of a seeded observed run)\n"
+      "            --include-timing --steps N --seed S ...]\n"
+      "            (deterministic metrics snapshot of a seeded observed\n"
+      "            run; --include-timing adds wall-clock kTiming metrics,\n"
+      "            which are NOT byte-stable across runs)\n"
       "  trace     [--profile F | --workload W] [--format text|jsonl|chrome\n"
       "            --min-severity S --capacity N ...]   (sim-time flight\n"
       "            recorder export of the same run)\n"
+      "  explain   [--profile F | --workload W] [--top K\n"
+      "            --format text|chrome ...]   (exact per-query latency\n"
+      "            attribution: signed span components summing bit-for-bit\n"
+      "            to each response time, top-K slowest span trees)\n"
+      "  obs-diff  <a> <b> [--max-rel X --approx-rel X --abs-eps X]\n"
+      "            (compare two exports; exit 3 on threshold breach)\n"
       "  help                          print this message\n"
-      "exit codes: 0 success, 1 runtime failure, 2 usage error\n";
+      "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
+      "            3 obs-diff threshold breach\n";
 }
 
 }  // namespace
@@ -676,6 +818,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (command == "obs-diff") {
+      // Positional operands: the two export files to compare.
+      if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
+          std::string(argv[3]).rfind("--", 0) == 0) {
+        std::cerr << "usage: msprint obs-diff <a> <b> "
+                     "[--max-rel X --approx-rel X --abs-eps X]\n";
+        return 2;
+      }
+      const Flags diff_flags(argc, argv, 4);
+      return CmdObsDiff(argv[2], argv[3], diff_flags);
+    }
     const Flags flags(argc, argv, 2);
     // --threads sizes the shared pool every parallel stage draws from;
     // it must be set before any stage touches ThreadPool::Global().
@@ -714,6 +867,9 @@ int main(int argc, char** argv) {
     }
     if (command == "trace") {
       return CmdTrace(flags);
+    }
+    if (command == "explain") {
+      return CmdExplain(flags);
     }
     std::cerr << "unknown command: " << command << "\n";
     PrintUsage(std::cerr);
