@@ -11,11 +11,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/rng.h"
 #include "src/core/effective_rate.h"
+#include "src/core/event_queue.h"
 #include "src/core/models.h"
 #include "src/ml/neural_net.h"
 #include "src/obs/obs.h"
@@ -38,7 +43,7 @@ SimConfig MicroSimConfig(const Distribution& service, size_t queries) {
   return config;
 }
 
-void BM_SimulateQueue(benchmark::State& state) {
+void BM_SimRun(benchmark::State& state) {
   const LognormalDistribution service(70.0, 0.2);
   const SimConfig config =
       MicroSimConfig(service, static_cast<size_t>(state.range(0)));
@@ -47,7 +52,54 @@ void BM_SimulateQueue(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SimulateQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SimRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Event-queue microbenchmarks: a sim-shaped churn (hold `live` events,
+// alternate push/pop with jittered times) at the two operating points —
+// flat mode (live set like the engines': a handful of events) and calendar
+// mode (hundreds of events, past the flat threshold) — plus the
+// std::priority_queue the engines used before, as the reference.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const size_t live = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  EventQueue queue(/*width_hint=*/1.0);
+  double clock = 0.0;
+  for (size_t i = 0; i < live; ++i) {
+    queue.Push(clock + rng.NextDouble() * 10.0, 0, i, 0);
+  }
+  for (auto _ : state) {
+    const EventRecord ev = queue.PopMin();
+    clock = ev.time();
+    queue.Push(clock + rng.NextDouble() * 10.0, 0, ev.query, 0);
+    benchmark::DoNotOptimize(clock);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(6)->Arg(48)->Arg(512)->Arg(4096);
+
+void BM_HeapChurnReference(benchmark::State& state) {
+  struct Event {
+    double time;
+    uint64_t query;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  const size_t live = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  double clock = 0.0;
+  for (size_t i = 0; i < live; ++i) {
+    queue.push({clock + rng.NextDouble() * 10.0, i});
+  }
+  for (auto _ : state) {
+    const Event ev = queue.top();
+    queue.pop();
+    clock = ev.time;
+    queue.push({clock + rng.NextDouble() * 10.0, ev.query});
+    benchmark::DoNotOptimize(clock);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapChurnReference)->Arg(6)->Arg(48)->Arg(512)->Arg(4096);
 
 void BM_TickSimulator(benchmark::State& state) {
   const LognormalDistribution service(70.0, 0.2);
@@ -254,9 +306,17 @@ void BM_CalibrationSearch(benchmark::State& state) {
 BENCHMARK(BM_CalibrationSearch);
 
 // Console reporter that also captures per-iteration timings so main can
-// write them to BENCH_micro.json after the run.
+// write them to BENCH_micro.json after the run. In --json-only mode the
+// console half is suppressed and the artifact is the sole output — CI's
+// perf job runs that way so its logs carry only the regression-gate table.
 class CapturingReporter : public benchmark::ConsoleReporter {
  public:
+  explicit CapturingReporter(bool json_only) : json_only_(json_only) {}
+
+  bool ReportContext(const Context& context) override {
+    return json_only_ ? true : benchmark::ConsoleReporter::ReportContext(context);
+  }
+
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred || run.iterations == 0 ||
@@ -267,7 +327,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
                              run.real_accumulated_time /
                                  static_cast<double>(run.iterations) * 1e9);
     }
-    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (!json_only_) {
+      benchmark::ConsoleReporter::ReportRuns(runs);
+    }
   }
 
   const std::vector<std::pair<std::string, double>>& captured() const {
@@ -275,6 +337,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   }
 
  private:
+  bool json_only_;
   std::vector<std::pair<std::string, double>> captured_;
 };
 
@@ -282,11 +345,23 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace msprint
 
 int main(int argc, char** argv) {
+  // --json-only is ours, not google-benchmark's: strip it before
+  // Initialize so ReportUnrecognizedArguments does not reject it.
+  bool json_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-only") {
+      json_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
-  msprint::CapturingReporter reporter;
+  msprint::CapturingReporter reporter(json_only);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 

@@ -1,12 +1,28 @@
 #include "src/common/rng.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace msprint {
 
 namespace {
 
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+// One xoshiro256** step over explicit state — the same recurrence as the
+// inline path in Rng::Next, over a register-resident local copy, so the
+// batched refill emits a bit-identical stream.
+inline uint64_t Step(std::array<uint64_t, 4>& s) {
+  auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+  const uint64_t result = rotl(s[1] * 5, 7) * 9;
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+  return result;
+}
 
 }  // namespace
 
@@ -32,16 +48,22 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
+uint64_t Rng::Refill() {
+  // Run the same core step `block` times into the buffer. The local copy
+  // of the state lets the compiler keep it in registers across the
+  // (unrollable) loop.
+  std::array<uint64_t, 4> s = state_;
+  for (size_t i = 0; i < batch_block_; ++i) {
+    batch_[i] = Step(s);
+  }
+  state_ = s;
+  batch_len_ = batch_block_;
+  batch_pos_ = 1;
+  return batch_[0];
+}
+
+void Rng::EnableBatchedDraws(size_t block) {
+  batch_block_ = std::clamp<size_t>(block, 1, kMaxBatchBlock);
 }
 
 double Rng::NextDouble() {
@@ -90,6 +112,11 @@ double Rng::NextGaussian() {
 }
 
 void Rng::LongJump() {
+  if (batch_block_ != 0) {
+    // A jump teleports `state_`, but buffered draws would still be served
+    // from the pre-jump position — silently interleaving two streams.
+    throw std::logic_error("Rng::LongJump is incompatible with batched draws");
+  }
   static constexpr std::array<uint64_t, 4> kLongJump = {
       0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL, 0x77710069854EE241ULL,
       0x39109BB02ACBE635ULL};

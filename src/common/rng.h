@@ -10,6 +10,7 @@
 #define MSPRINT_SRC_COMMON_RNG_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace msprint {
@@ -29,14 +30,48 @@ class Rng {
  public:
   using result_type = uint64_t;
 
+  // Largest refill block EnableBatchedDraws accepts.
+  static constexpr size_t kMaxBatchBlock = 256;
+
   explicit Rng(uint64_t seed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 
-  // Next raw 64-bit draw.
-  uint64_t Next();
+  // Next raw 64-bit draw. With batching enabled, serves from the refill
+  // buffer; the value sequence is identical either way. The unbatched
+  // step is inline so that multi-draw callers (the polar-method rejection
+  // loop, Lemire retries, back-to-back samples in pre-generation) keep
+  // the whole state in registers across consecutive draws.
+  uint64_t Next() {
+    if (batch_pos_ < batch_len_) {
+      return batch_[batch_pos_++];
+    }
+    if (batch_block_ != 0) {
+      return Refill();
+    }
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
   result_type operator()() { return Next(); }
+
+  // Opt-in batched draws for hot simulation loops: refills `block` raw
+  // 64-bit outputs from the generator core at once and serves Next() from
+  // the buffer. Only the refill granularity changes — the draw sequence
+  // is bit-identical to unbatched operation by construction, because the
+  // refill loop runs the exact same core step in the exact same order.
+  // The tight refill loop breaks the serial dependency between a state
+  // update and the consumer's use of the draw, which is what makes it
+  // faster. Incompatible with LongJump (which assumes the buffered state
+  // *is* the stream position): LongJump throws once batching is on.
+  void EnableBatchedDraws(size_t block = kMaxBatchBlock);
 
   // Uniform double in [0, 1). 53 bits of mantissa entropy.
   double NextDouble();
@@ -51,13 +86,28 @@ class Rng {
   double NextGaussian();
 
   // Jump function: advances the state by 2^128 draws. Used to create
-  // long-range independent substreams without re-seeding.
+  // long-range independent substreams without re-seeding. Throws
+  // std::logic_error if batched draws are enabled.
   void LongJump();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  // Batched-mode refill: runs the same core step `batch_block_` times
+  // into the buffer and serves the first value.
+  uint64_t Refill();
+
   std::array<uint64_t, 4> state_;
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
+
+  // Batched-draw buffer; inactive (batch_block_ == 0) by default.
+  size_t batch_pos_ = 0;
+  size_t batch_len_ = 0;
+  size_t batch_block_ = 0;
+  std::array<uint64_t, kMaxBatchBlock> batch_;
 };
 
 }  // namespace msprint

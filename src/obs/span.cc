@@ -124,6 +124,16 @@ QuerySpan BuildQuerySpan(const SpanInputs& in) {
   return span;
 }
 
+std::vector<QuerySpan> BuildQuerySpanBatch(
+    const std::vector<SpanInputs>& inputs) {
+  std::vector<QuerySpan> spans;
+  spans.reserve(inputs.size());
+  for (const SpanInputs& in : inputs) {
+    spans.push_back(BuildQuerySpan(in));
+  }
+  return spans;
+}
+
 void SpanCollector::Record(const QuerySpan& span) {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.push_back(span);

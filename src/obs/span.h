@@ -158,6 +158,14 @@ struct SpanInputs {
 // ResponseTicks() by construction.
 QuerySpan BuildQuerySpan(const SpanInputs& inputs);
 
+// Batched milestone quantization for a whole run's worth of queries: one
+// sized allocation, one tight loop over BuildQuerySpan, ready to hand to
+// SpanCollector::RecordBatch. Produces spans bit-identical to calling
+// BuildQuerySpan per element — the batch form exists so the engines'
+// post-run sweep stays out of the per-query allocation business.
+std::vector<QuerySpan> BuildQuerySpanBatch(
+    const std::vector<SpanInputs>& inputs);
+
 // Collects spans from one observed run. Recording follows the flight-
 // recorder rule — serial deterministic code only — and the hot path is a
 // single RecordBatch per run (the mutex guards stray concurrent use, but

@@ -1,11 +1,11 @@
 #include "src/sim/multiclass_simulator.h"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 #include <stdexcept>
 
 #include "src/common/stats.h"
+#include "src/core/event_queue.h"
+#include "src/core/run_arena.h"
 
 namespace msprint {
 
@@ -13,27 +13,21 @@ namespace {
 
 constexpr double kBudgetEpsilon = 1e-9;
 
-enum class EventType { kArrival, kDeparture, kTimeout };
+enum class EventType : uint32_t { kArrival, kDeparture, kTimeout };
 
-struct Event {
-  double time;
-  EventType type;
-  size_t query;
-  uint64_t stamp;
-
-  bool operator>(const Event& other) const { return time > other.time; }
-};
-
-struct PendingQuery {
-  size_t klass = 0;
-  double arrival = 0.0;
-  double service_time = 0.0;
-  double start = -1.0;
-  double depart = -1.0;
-  bool timed_out = false;
-  bool sprinted = false;
-  double sprint_begin = -1.0;
-  double sprint_seconds = 0.0;
+// Struct-of-arrays query state in the per-run arena (see
+// queue_simulator.cc — same layout plus a class column).
+struct QueryColumns {
+  uint32_t* klass;
+  double* arrival;
+  double* service_time;
+  double* start;
+  double* depart;
+  double* sprint_begin;
+  double* sprint_seconds;
+  uint64_t* stamps;
+  uint8_t* timed_out;
+  uint8_t* sprinted;
 };
 
 }  // namespace
@@ -63,10 +57,31 @@ MultiClassSimResult SimulateMultiClassQueue(
   }
 
   Rng rng(config.seed);
+  rng.EnableBatchedDraws();
+
+  const size_t n = config.num_queries;
+  RunArena arena;
+  arena.Reserve(RunArena::BytesFor<double>(n) * 6 +
+                RunArena::BytesFor<uint64_t>(n) +
+                RunArena::BytesFor<uint32_t>(n) +
+                RunArena::BytesFor<uint8_t>(n) * 2 +
+                RunArena::BytesFor<size_t>(n));
+  QueryColumns q;
+  q.klass = arena.Allocate<uint32_t>(n);
+  q.arrival = arena.AllocateUninit<double>(n);
+  q.service_time = arena.AllocateUninit<double>(n);
+  q.start = arena.Allocate<double>(n, -1.0);
+  q.depart = arena.Allocate<double>(n, -1.0);
+  q.sprint_begin = arena.Allocate<double>(n, -1.0);
+  q.sprint_seconds = arena.Allocate<double>(n);
+  q.stamps = arena.Allocate<uint64_t>(n);
+  q.timed_out = arena.Allocate<uint8_t>(n);
+  q.sprinted = arena.Allocate<uint8_t>(n);
+  size_t* fifo = arena.AllocateUninit<size_t>(n);
+  size_t fifo_head = 0;
+  size_t fifo_tail = 0;
 
   // Pre-generate the interleaved arrival stream.
-  const size_t n = config.num_queries;
-  std::vector<PendingQuery> queries(n);
   {
     const auto interarrival = MakeDistribution(
         config.arrival_kind, 1.0 / config.arrival_rate_per_second);
@@ -83,9 +98,9 @@ MultiClassSimResult SimulateMultiClassQueue(
           break;
         }
       }
-      queries[i].klass = klass;
-      queries[i].arrival = t;
-      queries[i].service_time =
+      q.klass[i] = static_cast<uint32_t>(klass);
+      q.arrival[i] = t;
+      q.service_time[i] =
           std::max(1e-9, config.classes[klass].service->Sample(rng));
     }
   }
@@ -93,94 +108,93 @@ MultiClassSimResult SimulateMultiClassQueue(
   SprintBudget budget(config.budget_capacity_seconds,
                       config.budget_refill_seconds);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  std::deque<size_t> fifo;
-  std::vector<uint64_t> stamps(n, 0);
+  EventQueue events(/*width_hint=*/1.0 / config.arrival_rate_per_second);
   int free_slots = config.slots;
   size_t next_arrival = 0;
   uint64_t stamp_counter = 0;
 
-  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+  events.Push(q.arrival[0], static_cast<uint32_t>(EventType::kArrival), 0, 0);
 
   auto schedule_departure = [&](size_t qi, double when) {
-    stamps[qi] = ++stamp_counter;
-    queries[qi].depart = when;
-    events.push({when, EventType::kDeparture, qi, stamps[qi]});
+    q.stamps[qi] = ++stamp_counter;
+    q.depart[qi] = when;
+    events.Push(when, static_cast<uint32_t>(EventType::kDeparture), qi,
+                q.stamps[qi]);
   };
 
   auto dispatch = [&](size_t qi, double now) {
-    PendingQuery& q = queries[qi];
-    const QueryClassConfig& klass = config.classes[q.klass];
-    q.start = now;
-    const double timeout_at = q.arrival + klass.timeout_seconds;
+    const QueryClassConfig& klass = config.classes[q.klass[qi]];
+    q.start[qi] = now;
+    const double timeout_at = q.arrival[qi] + klass.timeout_seconds;
     if (timeout_at <= now) {
-      q.timed_out = true;
+      q.timed_out[qi] = 1;
       if (budget.Available(now) > kBudgetEpsilon) {
-        q.sprinted = true;
-        q.sprint_begin = now;
-        schedule_departure(qi, now + q.service_time / klass.sprint_speedup);
+        q.sprinted[qi] = 1;
+        q.sprint_begin[qi] = now;
+        schedule_departure(qi,
+                           now + q.service_time[qi] / klass.sprint_speedup);
         return;
       }
     }
-    schedule_departure(qi, now + q.service_time);
-    if (timeout_at > now && timeout_at < q.depart) {
-      events.push({timeout_at, EventType::kTimeout, qi, stamps[qi]});
+    schedule_departure(qi, now + q.service_time[qi]);
+    if (timeout_at > now && timeout_at < q.depart[qi]) {
+      events.Push(timeout_at, static_cast<uint32_t>(EventType::kTimeout), qi,
+                  q.stamps[qi]);
     }
   };
 
   auto complete = [&](size_t qi, double now) {
-    PendingQuery& q = queries[qi];
-    if (q.sprinted) {
-      q.sprint_seconds = now - q.sprint_begin;
-      budget.ConsumeAllowingDebt(now, q.sprint_seconds);
+    if (q.sprinted[qi]) {
+      q.sprint_seconds[qi] = now - q.sprint_begin[qi];
+      budget.ConsumeAllowingDebt(now, q.sprint_seconds[qi]);
     }
     ++free_slots;
   };
 
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    const double now = ev.time;
+    const EventRecord ev = events.PopMin();
+    const double now = ev.time();
+    const size_t qi = static_cast<size_t>(ev.query);
 
-    switch (ev.type) {
+    switch (static_cast<EventType>(ev.type())) {
       case EventType::kArrival: {
-        fifo.push_back(ev.query);
+        fifo[fifo_tail++] = qi;
         if (++next_arrival < n) {
-          events.push({queries[next_arrival].arrival, EventType::kArrival,
-                       next_arrival, 0});
+          events.Push(q.arrival[next_arrival],
+                      static_cast<uint32_t>(EventType::kArrival),
+                      next_arrival, 0);
         }
         break;
       }
       case EventType::kDeparture: {
-        if (stamps[ev.query] != ev.stamp) {
+        if (q.stamps[qi] != ev.stamp) {
           break;
         }
-        complete(ev.query, now);
+        complete(qi, now);
         break;
       }
       case EventType::kTimeout: {
-        PendingQuery& q = queries[ev.query];
-        if (stamps[ev.query] != ev.stamp || q.sprinted || q.depart <= now) {
+        if (q.stamps[qi] != ev.stamp || q.sprinted[qi] ||
+            q.depart[qi] <= now) {
           break;
         }
-        q.timed_out = true;
+        q.timed_out[qi] = 1;
         if (budget.Available(now) > kBudgetEpsilon) {
-          q.sprinted = true;
-          q.sprint_begin = now;
-          const double remaining = q.depart - now;
+          q.sprinted[qi] = 1;
+          q.sprint_begin[qi] = now;
+          const double remaining = q.depart[qi] - now;
           schedule_departure(
-              ev.query,
-              now + remaining / config.classes[q.klass].sprint_speedup);
+              qi,
+              now + remaining / config.classes[q.klass[qi]].sprint_speedup);
         }
         break;
       }
     }
 
-    while (free_slots > 0 && !fifo.empty()) {
-      const size_t qi = fifo.front();
-      fifo.pop_front();
+    while (free_slots > 0 && fifo_head != fifo_tail) {
+      const size_t next = fifo[fifo_head++];
       --free_slots;
-      dispatch(qi, std::max(now, queries[qi].arrival));
+      dispatch(next, std::max(now, q.arrival[next]));
     }
   }
 
@@ -196,17 +210,17 @@ MultiClassSimResult SimulateMultiClassQueue(
   std::vector<size_t> sprinted(config.classes.size(), 0);
   const size_t first = std::min(config.warmup_queries, n);
   for (size_t i = first; i < n; ++i) {
-    const PendingQuery& q = queries[i];
-    const double response = q.depart - q.arrival;
+    const size_t klass = q.klass[i];
+    const double response = q.depart[i] - q.arrival[i];
     overall.Add(response);
-    rt[q.klass].Add(response);
-    qd[q.klass].Add(q.start - q.arrival);
-    result.per_class[q.klass].response_times.push_back(response);
-    if (q.sprinted) {
-      ++sprinted[q.klass];
-      result.total_sprint_seconds += q.sprint_seconds;
+    rt[klass].Add(response);
+    qd[klass].Add(q.start[i] - q.arrival[i]);
+    result.per_class[klass].response_times.push_back(response);
+    if (q.sprinted[i]) {
+      ++sprinted[klass];
+      result.total_sprint_seconds += q.sprint_seconds[i];
     }
-    result.makespan = std::max(result.makespan, q.depart);
+    result.makespan = std::max(result.makespan, q.depart[i]);
   }
   for (size_t c = 0; c < config.classes.size(); ++c) {
     ClassResult& out = result.per_class[c];

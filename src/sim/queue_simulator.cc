@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
 #include <stdexcept>
 
 #include "src/common/thread_pool.h"
+#include "src/core/event_queue.h"
+#include "src/core/run_arena.h"
 #include "src/obs/obs.h"
 
 namespace msprint {
@@ -30,15 +30,21 @@ namespace {
 
 constexpr double kBudgetEpsilon = 1e-9;
 
-enum class EventType { kArrival, kDeparture, kTimeout };
+enum class EventType : uint32_t { kArrival, kDeparture, kTimeout };
 
-struct Event {
-  double time;
-  EventType type;
-  size_t query;
-  uint64_t stamp;  // invalidates superseded departure events
-
-  bool operator>(const Event& other) const { return time > other.time; }
+// Struct-of-arrays query state, carved out of the per-run arena. The hot
+// loop touches only the columns an event actually needs, instead of
+// dragging a whole SimQuery record through the cache per access.
+struct QueryColumns {
+  double* arrival;
+  double* service_time;
+  double* start;
+  double* depart;
+  double* sprint_begin;
+  double* sprint_seconds;
+  uint64_t* stamps;
+  uint8_t* timed_out;
+  uint8_t* sprinted;
 };
 
 }  // namespace
@@ -54,9 +60,11 @@ SimResult SimulateQueue(const SimConfig& config,
   }
 
   Rng rng(config.seed);
+  // Arrival/service sampling consumes the whole stream up front; batched
+  // refills amortize the generator state updates without changing a
+  // single draw.
+  rng.EnableBatchedDraws();
 
-  // Pre-generate arrivals and service times, as Algorithm 1 does ("these
-  // properties are set before simulation begins").
   size_t n = config.num_queries;
   if (config.arrival_trace != nullptr) {
     if (config.arrival_trace->empty()) {
@@ -64,15 +72,41 @@ SimResult SimulateQueue(const SimConfig& config,
     }
     n = std::min(n, config.arrival_trace->size());
   }
-  std::vector<SimQuery> queries(n);
+
+  // One block reservation covers every per-run array; the event loop
+  // below allocates nothing.
+  RunArena arena;
+  arena.Reserve(RunArena::BytesFor<double>(n) * 6 +
+                RunArena::BytesFor<uint64_t>(n) +
+                RunArena::BytesFor<uint8_t>(n) * 2 +
+                RunArena::BytesFor<size_t>(n));
+  QueryColumns q;
+  q.arrival = arena.AllocateUninit<double>(n);      // pre-gen writes all
+  q.service_time = arena.AllocateUninit<double>(n);  // pre-gen writes all
+  q.start = arena.Allocate<double>(n);
+  q.depart = arena.Allocate<double>(n);
+  q.sprint_begin = arena.Allocate<double>(n, -1.0);
+  q.sprint_seconds = arena.Allocate<double>(n);
+  q.stamps = arena.Allocate<uint64_t>(n);
+  q.timed_out = arena.Allocate<uint8_t>(n);
+  q.sprinted = arena.Allocate<uint8_t>(n);
+  // FIFO ring: every query enqueues exactly once, so a monotone index
+  // pair over an n-slot array replaces the old std::deque (and its
+  // per-node heap churn).
+  size_t* fifo = arena.AllocateUninit<size_t>(n);  // written before read
+  size_t fifo_head = 0;
+  size_t fifo_tail = 0;
+
+  // Pre-generate arrivals and service times, as Algorithm 1 does ("these
+  // properties are set before simulation begins").
   if (config.arrival_trace != nullptr) {
     const auto& trace = *config.arrival_trace;
     for (size_t i = 0; i < n; ++i) {
       if (i > 0 && trace[i] < trace[i - 1]) {
         throw std::invalid_argument("arrival trace must be ascending");
       }
-      queries[i].arrival = trace[i];
-      queries[i].service_time = std::max(1e-9, config.service->Sample(rng));
+      q.arrival[i] = trace[i];
+      q.service_time[i] = std::max(1e-9, config.service->Sample(rng));
     }
   } else {
     const auto interarrival = MakeDistribution(
@@ -80,112 +114,109 @@ SimResult SimulateQueue(const SimConfig& config,
     double t = 0.0;
     for (size_t i = 0; i < n; ++i) {
       t += interarrival->Sample(rng);
-      queries[i].arrival = t;
-      queries[i].service_time = std::max(1e-9, config.service->Sample(rng));
+      q.arrival[i] = t;
+      q.service_time[i] = std::max(1e-9, config.service->Sample(rng));
     }
   }
 
   SprintBudget budget(config.budget_capacity_seconds,
                       config.budget_refill_seconds);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  std::deque<size_t> fifo;
-  std::vector<uint64_t> stamps(n, 0);
-  std::vector<double> sprint_begin(n, -1.0);
+  // Same-timestamp events pop in push order (the EventQueue (time, seq)
+  // contract); each engine action below relies on that explicit tiebreak.
+  EventQueue events(/*width_hint=*/1.0 / config.arrival_rate_per_second);
   int free_slots = config.slots;
   size_t next_arrival = 0;
   uint64_t stamp_counter = 0;
 
-  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+  events.Push(q.arrival[0], static_cast<uint32_t>(EventType::kArrival), 0, 0);
 
-  auto schedule_departure = [&](size_t q, double when) {
-    stamps[q] = ++stamp_counter;
-    queries[q].depart = when;
-    events.push({when, EventType::kDeparture, q, stamps[q]});
+  auto schedule_departure = [&](size_t query, double when) {
+    q.stamps[query] = ++stamp_counter;
+    q.depart[query] = when;
+    events.Push(when, static_cast<uint32_t>(EventType::kDeparture), query,
+                q.stamps[query]);
   };
 
-  auto dispatch = [&](size_t q, double now) {
-    SimQuery& query = queries[q];
-    query.start = now;
-    const double timeout_at = query.arrival + config.timeout_seconds;
+  auto dispatch = [&](size_t query, double now) {
+    q.start[query] = now;
+    const double timeout_at = q.arrival[query] + config.timeout_seconds;
     const bool timeout_already_fired = timeout_at <= now;
     if (timeout_already_fired) {
-      query.timed_out = true;
+      q.timed_out[query] = 1;
       if (budget.Available(now) > kBudgetEpsilon) {
         // Whole execution sprints (the marginal-rate case of Section 2).
-        query.sprinted = true;
-        sprint_begin[q] = now;
-        schedule_departure(q, now + query.service_time /
-                                    config.sprint_speedup);
+        q.sprinted[query] = 1;
+        q.sprint_begin[query] = now;
+        schedule_departure(query, now + q.service_time[query] /
+                                      config.sprint_speedup);
         return;
       }
     }
-    schedule_departure(q, now + query.service_time);
+    schedule_departure(query, now + q.service_time[query]);
     if (!timeout_already_fired) {
       // Timeout may fire mid-execution; schedule the interrupt.
-      if (timeout_at < query.depart) {
-        events.push({timeout_at, EventType::kTimeout, q, stamps[q]});
+      if (timeout_at < q.depart[query]) {
+        events.Push(timeout_at, static_cast<uint32_t>(EventType::kTimeout),
+                    query, q.stamps[query]);
       }
     }
   };
 
-  auto complete = [&](size_t q, double now) {
-    SimQuery& query = queries[q];
-    if (query.sprinted) {
-      query.sprint_seconds = now - sprint_begin[q];
-      budget.ConsumeAllowingDebt(now, query.sprint_seconds);
+  auto complete = [&](size_t query, double now) {
+    if (q.sprinted[query]) {
+      q.sprint_seconds[query] = now - q.sprint_begin[query];
+      budget.ConsumeAllowingDebt(now, q.sprint_seconds[query]);
     }
     ++free_slots;
   };
 
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    const double now = ev.time;
+    const EventRecord ev = events.PopMin();
+    const double now = ev.time();
+    const size_t query = static_cast<size_t>(ev.query);
 
-    switch (ev.type) {
+    switch (static_cast<EventType>(ev.type())) {
       case EventType::kArrival: {
-        fifo.push_back(ev.query);
+        fifo[fifo_tail++] = query;
         if (++next_arrival < n) {
-          events.push({queries[next_arrival].arrival, EventType::kArrival,
-                       next_arrival, 0});
+          events.Push(q.arrival[next_arrival],
+                      static_cast<uint32_t>(EventType::kArrival),
+                      next_arrival, 0);
         }
         break;
       }
       case EventType::kDeparture: {
-        if (stamps[ev.query] != ev.stamp) {
+        if (q.stamps[query] != ev.stamp) {
           break;  // superseded by a sprint reschedule
         }
-        complete(ev.query, now);
+        complete(query, now);
         break;
       }
       case EventType::kTimeout: {
-        SimQuery& query = queries[ev.query];
         // Only meaningful if the query is still executing un-sprinted with
         // the same departure schedule it had when the interrupt was set.
-        if (stamps[ev.query] != ev.stamp || query.sprinted ||
-            query.depart <= now) {
+        if (q.stamps[query] != ev.stamp || q.sprinted[query] ||
+            q.depart[query] <= now) {
           break;
         }
-        query.timed_out = true;
+        q.timed_out[query] = 1;
         if (budget.Available(now) > kBudgetEpsilon) {
           // Equation 1: remaining work finishes at the sprint speedup.
-          query.sprinted = true;
-          sprint_begin[ev.query] = now;
-          const double remaining = query.depart - now;
-          schedule_departure(ev.query,
-                             now + remaining / config.sprint_speedup);
+          q.sprinted[query] = 1;
+          q.sprint_begin[query] = now;
+          const double remaining = q.depart[query] - now;
+          schedule_departure(query, now + remaining / config.sprint_speedup);
         }
         break;
       }
     }
 
     // Dispatch from the FIFO head while slots are open.
-    while (free_slots > 0 && !fifo.empty()) {
-      const size_t q = fifo.front();
-      fifo.pop_front();
+    while (free_slots > 0 && fifo_head != fifo_tail) {
+      const size_t next = fifo[fifo_head++];
       --free_slots;
-      dispatch(q, std::max(now, queries[q].arrival));
+      dispatch(next, std::max(now, q.arrival[next]));
     }
   }
 
@@ -198,18 +229,18 @@ SimResult SimulateQueue(const SimConfig& config,
   size_t sprinted = 0;
   size_t timed_out = 0;
   for (size_t i = first; i < n; ++i) {
-    const SimQuery& q = queries[i];
-    result.response_times.push_back(q.ResponseTime());
-    rt_stats.Add(q.ResponseTime());
-    qd_stats.Add(q.QueueingDelay());
-    if (q.sprinted) {
+    const double response = q.depart[i] - q.arrival[i];
+    result.response_times.push_back(response);
+    rt_stats.Add(response);
+    qd_stats.Add(q.start[i] - q.arrival[i]);
+    if (q.sprinted[i]) {
       ++sprinted;
-      result.total_sprint_seconds += q.sprint_seconds;
+      result.total_sprint_seconds += q.sprint_seconds[i];
     }
-    if (q.timed_out) {
+    if (q.timed_out[i]) {
       ++timed_out;
     }
-    result.makespan = std::max(result.makespan, q.depart);
+    result.makespan = std::max(result.makespan, q.depart[i]);
   }
   const double count = static_cast<double>(n - first);
   result.mean_response_time = rt_stats.mean();
@@ -231,29 +262,38 @@ SimResult SimulateQueue(const SimConfig& config,
   // serial deterministic call sites.
   if (config.record_spans) {
     if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
-      std::vector<obs::QuerySpan> spans;
-      spans.reserve(n - first);
+      std::vector<obs::SpanInputs> inputs;
+      inputs.reserve(n - first);
       for (size_t i = first; i < n; ++i) {
-        const SimQuery& q = queries[i];
         obs::SpanInputs in;
         in.id = i;
-        in.arrival = q.arrival;
-        in.start = q.start;
-        in.depart = q.depart;
+        in.arrival = q.arrival[i];
+        in.start = q.start[i];
+        in.depart = q.depart[i];
         // The simulator models no phases, interference or faults: the
         // whole decomposition is queue wait + service + sprint delta.
-        in.service_time = q.service_time;
-        in.sprint_begin = q.sprinted ? sprint_begin[i] : -1.0;
-        in.sprinted = q.sprinted;
-        in.timed_out = q.timed_out;
-        spans.push_back(obs::BuildQuerySpan(in));
+        in.service_time = q.service_time[i];
+        in.sprint_begin = q.sprinted[i] ? q.sprint_begin[i] : -1.0;
+        in.sprinted = q.sprinted[i] != 0;
+        in.timed_out = q.timed_out[i] != 0;
+        inputs.push_back(in);
       }
-      span_sink->RecordBatch(std::move(spans));
+      span_sink->RecordBatch(obs::BuildQuerySpanBatch(inputs));
     }
   }
 
   if (trace_out != nullptr) {
-    *trace_out = std::move(queries);
+    trace_out->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      SimQuery& out = (*trace_out)[i];
+      out.arrival = q.arrival[i];
+      out.service_time = q.service_time[i];
+      out.start = q.start[i];
+      out.depart = q.depart[i];
+      out.timed_out = q.timed_out[i] != 0;
+      out.sprinted = q.sprinted[i] != 0;
+      out.sprint_seconds = q.sprint_seconds[i];
+    }
   }
   return result;
 }

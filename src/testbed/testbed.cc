@@ -1,12 +1,14 @@
 #include "src/testbed/testbed.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <deque>
 #include <limits>
-#include <queue>
+#include <optional>
 #include <stdexcept>
 
+#include "src/core/event_queue.h"
+#include "src/core/run_arena.h"
 #include "src/obs/obs.h"
 
 namespace msprint {
@@ -29,15 +31,18 @@ double LoadOverheadFactor(size_t queue_length) {
                                                 kLoadOverheadCap));
 }
 
-enum class EventType { kArrival, kDeparture, kTimeout, kBreakerTrip };
+enum class EventType : uint32_t { kArrival, kDeparture, kTimeout,
+                                  kBreakerTrip };
 
-struct Event {
-  double time;
-  EventType type;
-  size_t query;
-  uint64_t stamp;
-
-  bool operator>(const Event& other) const { return time > other.time; }
+// Per-workload constants of the generation loop. Everything here is a
+// pure function of (config, workload id) — spec lookup, the mix-inflated
+// mean service time, and the lognormal jitter shape (whose construction
+// runs log/exp) — yet the old loop recomputed all of it per query.
+// Caching is bit-exact: same inputs, same values, and no RNG draws move.
+struct WorkloadGenCache {
+  const WorkloadSpec* spec = nullptr;
+  double mean_service = 0.0;
+  std::optional<LognormalDistribution> jitter;
 };
 
 }  // namespace
@@ -114,6 +119,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   const auto& catalog = WorkloadCatalog::Get();
 
   Rng rng(config.seed);
+  // The generation loop consumes the whole stream up front; batched
+  // refills amortize the generator state updates without changing draws.
+  rng.EnableBatchedDraws();
 
   // Generate the query stream: workload draws, arrivals, service times.
   const double arrival_rate =
@@ -140,6 +148,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
 
   std::vector<Query> queries(n);
   {
+    // Built lazily per sampled workload; indexed by WorkloadId value.
+    std::array<WorkloadGenCache, 16> gen_cache;
     double t = 0.0;
     for (size_t i = 0; i < n; ++i) {
       Query& q = queries[i];
@@ -148,14 +158,17 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       // Flash crowds compress interarrival gaps by the crowd intensity.
       t += interarrival->Sample(rng) / fault_plan.ArrivalIntensityAt(t);
       q.arrival = t;
-      const auto& spec = catalog.spec(q.workload);
-      const double mean_service =
-          config.mix.MemberMeanServiceSeconds(q.workload) *
-          mechanism->SustainedServiceMultiplier(spec);
-      const LognormalDistribution jitter(mean_service,
-                                         std::max(0.05, spec.service_cov));
-      q.service_time = std::max(1e-6, jitter.Sample(rng));
-      q.size = q.service_time / mean_service;
+      WorkloadGenCache& cached = gen_cache[static_cast<size_t>(q.workload)];
+      if (cached.spec == nullptr) {
+        cached.spec = &catalog.spec(q.workload);
+        cached.mean_service =
+            config.mix.MemberMeanServiceSeconds(q.workload) *
+            mechanism->SustainedServiceMultiplier(*cached.spec);
+        cached.jitter.emplace(cached.mean_service,
+                              std::max(0.05, cached.spec->service_cov));
+      }
+      q.service_time = std::max(1e-6, cached.jitter->Sample(rng));
+      q.size = q.service_time / cached.mean_service;
     }
   }
 
@@ -174,40 +187,56 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   SprintBudget budget(config.policy.BudgetCapacitySeconds(),
                       config.policy.refill_seconds);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  std::deque<size_t> fifo;
-  std::vector<uint64_t> stamps(n, 0);
+  // Same-timestamp events pop in push order — the EventQueue (time, seq)
+  // contract; arrival-before-breaker and departure-before-timeout races
+  // at equal timestamps resolve by insertion order.
+  EventQueue events(/*width_hint=*/1.0 / arrival_rate);
+  // Every ancillary per-query array comes out of one arena reservation;
+  // the FIFO is a monotone index ring (each query enqueues exactly once),
+  // so the event loop below does zero heap traffic.
+  RunArena arena;
+  arena.Reserve(RunArena::BytesFor<uint64_t>(n) +
+                RunArena::BytesFor<double>(n) * 5 +
+                RunArena::BytesFor<uint8_t>(n) * 2 +
+                RunArena::BytesFor<size_t>(n));
+  uint64_t* stamps = arena.Allocate<uint64_t>(n);
   // Effective sustained duration including load overhead, set at dispatch.
-  std::vector<double> effective_service(n, 0.0);
+  double* effective_service = arena.Allocate<double>(n);
   // Span attribution bookkeeping: the multiplicative pieces of the
   // effective service time and the toggle latency each query paid, kept
   // per query so the post-run span sweep can decompose response times
   // exactly (see src/obs/span.h).
-  std::vector<double> span_load_factor(n, 1.0);
-  std::vector<double> span_fault_multiplier(n, 1.0);
-  std::vector<double> span_toggle_seconds(n, 0.0);
+  double* span_load_factor = arena.Allocate<double>(n, 1.0);
+  double* span_fault_multiplier = arena.Allocate<double>(n, 1.0);
+  double* span_toggle_seconds = arena.Allocate<double>(n);
   // Sprint-abort bookkeeping: which queries are currently executing, which
   // had their sprint aborted by a breaker trip, and how much sustained-rate
   // work remained when the sprint engaged.
-  std::vector<char> executing(n, 0);
-  std::vector<char> sprint_aborted(n, 0);
-  std::vector<double> sustained_remaining_at_sprint(n, 0.0);
+  uint8_t* executing = arena.Allocate<uint8_t>(n);
+  uint8_t* sprint_aborted = arena.Allocate<uint8_t>(n);
+  double* sustained_remaining_at_sprint = arena.Allocate<double>(n);
+  size_t* fifo = arena.AllocateUninit<size_t>(n);
+  size_t fifo_head = 0;
+  size_t fifo_tail = 0;
   int free_slots = config.slots;
   size_t next_arrival = 0;
   size_t departed = 0;
   uint64_t stamp_counter = 0;
 
-  events.push({queries[0].arrival, EventType::kArrival, 0, 0});
+  events.Push(queries[0].arrival, static_cast<uint32_t>(EventType::kArrival),
+              0, 0);
   if (!config.force_full_sprint && !config.disable_sprinting) {
     for (const TimeWindow& window : fault_plan.breaker_windows()) {
-      events.push({window.begin, EventType::kBreakerTrip, 0, 0});
+      events.Push(window.begin,
+                  static_cast<uint32_t>(EventType::kBreakerTrip), 0, 0);
     }
   }
 
   auto schedule_departure = [&](size_t qi, double when) {
     stamps[qi] = ++stamp_counter;
     queries[qi].depart = when;
-    events.push({when, EventType::kDeparture, qi, stamps[qi]});
+    events.Push(when, static_cast<uint32_t>(EventType::kDeparture), qi,
+                stamps[qi]);
   };
 
   // A sprint may engage only when no breaker lockout covers `now`, budget
@@ -277,7 +306,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     }
     schedule_departure(qi, now + effective_service[qi]);
     if (timeout_at > now && timeout_at < q.depart) {
-      events.push({timeout_at, EventType::kTimeout, qi, stamps[qi]});
+      events.Push(timeout_at, static_cast<uint32_t>(EventType::kTimeout), qi,
+                  stamps[qi]);
     }
   };
 
@@ -325,59 +355,60 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   };
 
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    const double now = ev.time;
+    const EventRecord ev = events.PopMin();
+    const double now = ev.time();
+    const size_t evq = static_cast<size_t>(ev.query);
 
-    switch (ev.type) {
+    switch (static_cast<EventType>(ev.type())) {
       case EventType::kArrival: {
-        fifo.push_back(ev.query);
+        fifo[fifo_tail++] = evq;
         obs::Emit(now, obs::EventKind::kQueueArrival,
-                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
-                  static_cast<double>(fifo.size()));
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
+                  static_cast<double>(fifo_tail - fifo_head));
         if (++next_arrival < n) {
-          events.push({queries[next_arrival].arrival, EventType::kArrival,
-                       next_arrival, 0});
+          events.Push(queries[next_arrival].arrival,
+                      static_cast<uint32_t>(EventType::kArrival),
+                      next_arrival, 0);
         }
         break;
       }
       case EventType::kDeparture: {
-        if (stamps[ev.query] != ev.stamp) {
+        if (stamps[evq] != ev.stamp) {
           break;
         }
-        complete(ev.query, now);
+        complete(evq, now);
         ++departed;
         obs::Emit(now, obs::EventKind::kQueueDeparture,
-                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
-                  queries[ev.query].ResponseTime());
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
+                  queries[evq].ResponseTime());
         break;
       }
       case EventType::kTimeout: {
-        Query& q = queries[ev.query];
-        if (stamps[ev.query] != ev.stamp || q.sprinted || q.depart <= now) {
+        Query& q = queries[evq];
+        if (stamps[evq] != ev.stamp || q.sprinted || q.depart <= now) {
           break;
         }
         q.timed_out = true;
         obs::Emit(now, obs::EventKind::kQueryTimeout,
-                  obs::Subsystem::kTestbed, obs::Severity::kDebug, ev.query,
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
                   timeout);
-        if (sprint_allowed(ev.query, now)) {
+        if (sprint_allowed(evq, now)) {
           q.sprinted = true;
           q.sprint_begin = now;
           obs::Emit(now, obs::EventKind::kSprintEngage,
-                    obs::Subsystem::kTestbed, obs::Severity::kInfo, ev.query,
-                    effective_service[ev.query]);
+                    obs::Subsystem::kTestbed, obs::Severity::kInfo, evq,
+                    effective_service[evq]);
           const auto& spec = catalog.spec(q.workload);
-          const double progress = (now - q.start) / effective_service[ev.query];
-          sustained_remaining_at_sprint[ev.query] =
+          const double progress = (now - q.start) / effective_service[evq];
+          sustained_remaining_at_sprint[evq] =
               (1.0 - std::clamp(progress, 0.0, 1.0)) *
-              effective_service[ev.query];
-          span_toggle_seconds[ev.query] = mechanism->ToggleLatencySeconds();
+              effective_service[evq];
+          span_toggle_seconds[evq] = mechanism->ToggleLatencySeconds();
           const double duration =
               mechanism->ToggleLatencySeconds() +
               SprintedRemainingSeconds(spec, *mechanism, progress,
-                                       effective_service[ev.query]);
-          schedule_departure(ev.query, now + duration);
+                                       effective_service[evq]);
+          schedule_departure(evq, now + duration);
         }
         break;
       }
@@ -392,11 +423,11 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       }
     }
 
-    while (free_slots > 0 && !fifo.empty()) {
-      const size_t qi = fifo.front();
-      fifo.pop_front();
+    while (free_slots > 0 && fifo_head != fifo_tail) {
+      const size_t qi = fifo[fifo_head++];
       --free_slots;
-      dispatch(qi, std::max(now, queries[qi].arrival), fifo.size());
+      dispatch(qi, std::max(now, queries[qi].arrival),
+               fifo_tail - fifo_head);
     }
 
     // Once every query departed, only breaker trips remain in the queue;
@@ -464,15 +495,24 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   // components. Serial code, sim-time stamps, one batch append — the run
   // pays nothing when no collector is attached.
   if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
-    std::vector<obs::QuerySpan> spans;
-    spans.reserve(n - first);
+    // Per-workload phase fractions, fetched once; SpanInputs keep stable
+    // pointers into this cache so the whole sweep can quantize in one
+    // batch call.
+    std::array<std::array<double, obs::kMaxSpanPhases>, 16> fractions{};
+    std::array<size_t, 16> num_phases{};
+    std::array<bool, 16> cached{};
+    std::vector<obs::SpanInputs> inputs;
+    inputs.reserve(n - first);
     for (size_t qi = first; qi < n; ++qi) {
       const Query& q = queries[qi];
-      const auto& phases = catalog.spec(q.workload).phases;
-      double fractions[obs::kMaxSpanPhases];
-      const size_t num_phases = std::min(phases.size(), obs::kMaxSpanPhases);
-      for (size_t p = 0; p < num_phases; ++p) {
-        fractions[p] = phases[p].work_fraction;
+      const size_t w = static_cast<size_t>(q.workload);
+      if (!cached[w]) {
+        const auto& phases = catalog.spec(q.workload).phases;
+        num_phases[w] = std::min(phases.size(), obs::kMaxSpanPhases);
+        for (size_t p = 0; p < num_phases[w]; ++p) {
+          fractions[w][p] = phases[p].work_fraction;
+        }
+        cached[w] = true;
       }
       obs::SpanInputs in;
       in.id = q.id;
@@ -488,11 +528,11 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       in.sprinted = q.sprinted;
       in.timed_out = q.timed_out;
       in.sprint_aborted = sprint_aborted[qi] != 0;
-      in.phase_fractions = fractions;
-      in.num_phases = num_phases;
-      spans.push_back(obs::BuildQuerySpan(in));
+      in.phase_fractions = fractions[w].data();
+      in.num_phases = num_phases[w];
+      inputs.push_back(in);
     }
-    span_sink->RecordBatch(std::move(spans));
+    span_sink->RecordBatch(obs::BuildQuerySpanBatch(inputs));
   }
   return trace;
 }

@@ -10,6 +10,7 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/common/distribution.h"
 #include "src/common/rng.h"
@@ -112,6 +113,39 @@ TEST(RngTest, LongJumpChangesStream) {
   Rng b(3);
   b.LongJump();
   EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, BatchedDrawsMatchUnbatchedExactly) {
+  // The hot-loop batching the event engines enable must be invisible in
+  // the value stream: same seed, same draws, bit for bit, across raw and
+  // derived samplers — including when batching is switched on mid-stream
+  // and for block sizes that do not divide the draw count.
+  for (size_t block : {1ul, 3ul, 64ul, Rng::kMaxBatchBlock}) {
+    Rng plain(1234);
+    Rng batched(1234);
+    for (int i = 0; i < 17; ++i) {  // warm both up unbatched first
+      ASSERT_EQ(plain.Next(), batched.Next());
+    }
+    batched.EnableBatchedDraws(block);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(plain.Next(), batched.Next()) << "block=" << block;
+    }
+    // Derived samplers sit on top of Next() and must match too.
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(plain.NextDouble(), batched.NextDouble());
+      ASSERT_EQ(plain.NextBounded(97), batched.NextBounded(97));
+      ASSERT_EQ(plain.NextGaussian(), batched.NextGaussian());
+    }
+  }
+}
+
+TEST(RngTest, LongJumpRefusedWhileBatching) {
+  // LongJump manipulates generator state directly; with draws buffered
+  // ahead of the stream position that would silently desynchronize, so
+  // it must refuse instead.
+  Rng rng(5);
+  rng.EnableBatchedDraws();
+  EXPECT_THROW(rng.LongJump(), std::logic_error);
 }
 
 // ---------------------------------------------------------------- stats

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +32,7 @@
 #include "src/obs/span.h"
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
+#include "src/sim/multiclass_simulator.h"
 #include "src/sim/queue_simulator.h"
 #include "src/testbed/testbed.h"
 
@@ -728,6 +734,142 @@ TEST(ThreadPoolHardeningTest, GlobalPoolIsShared) {
   // Once the shared pool exists, resizing requests must be refused rather
   // than silently ignored.
   EXPECT_FALSE(ThreadPool::SetGlobalSize(a.size() + 1));
+}
+
+// ------------------------------------------------- event-engine goldens
+//
+// Byte-identical golden exports pin the discrete-event engines across the
+// throughput overhaul (calendar queue, SoA records, batched RNG draws,
+// batched span quantization): the files under tests/golden/ were generated
+// from the pre-overhaul engines and any post-overhaul run must reproduce
+// them byte for byte. The recipes deliberately sample only through
+// libm-free distributions (uniform arrivals via NextDouble, empirical
+// service via NextBounded), so the goldens do not depend on the host's
+// libm rounding — every downstream value is pure IEEE arithmetic and
+// prints identically everywhere.
+//
+// Regenerate (only when intentionally changing engine semantics) with
+// MSPRINT_UPDATE_GOLDEN=1 ./build/tests/determinism_test
+
+std::string GoldenDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendSimQueryLine(std::string* out, size_t i, const SimQuery& q) {
+  *out += "query " + std::to_string(i) + " arrival=" +
+          GoldenDouble(q.arrival) + " start=" + GoldenDouble(q.start) +
+          " depart=" + GoldenDouble(q.depart) + " service=" +
+          GoldenDouble(q.service_time) +
+          " timed_out=" + (q.timed_out ? "1" : "0") +
+          " sprinted=" + (q.sprinted ? "1" : "0") + " sprint_seconds=" +
+          GoldenDouble(q.sprint_seconds) + "\n";
+}
+
+std::string EventEngineGoldenExport() {
+  std::string out;
+
+  // --- single-class queue simulator, spans + metrics attached.
+  const EmpiricalDistribution service(
+      {40.0, 55.5, 62.25, 70.0, 81.5, 95.25, 110.0, 133.75});
+  SimConfig config;
+  config.arrival_rate_per_second = 1.0 / 60.0;
+  config.arrival_kind = DistributionKind::kUniform;
+  config.service = &service;
+  config.sprint_speedup = 1.5;
+  config.timeout_seconds = 90.0;
+  config.budget_capacity_seconds = 30.0;
+  config.budget_refill_seconds = 150.0;
+  config.slots = 2;
+  config.num_queries = 400;
+  config.warmup_queries = 40;
+  config.seed = 20260808;
+  config.record_spans = true;
+
+  {
+    obs::MetricsRegistry metrics;
+    obs::SpanCollector spans;
+    obs::ObsSession session(&metrics, nullptr, &spans);
+    std::vector<SimQuery> trace;
+    const SimResult result = SimulateQueue(config, &trace);
+
+    out += "== sim/result\n";
+    out += "mean_response_time " + GoldenDouble(result.mean_response_time) +
+           "\n";
+    out += "mean_queueing_delay " +
+           GoldenDouble(result.mean_queueing_delay) + "\n";
+    out += "fraction_sprinted " + GoldenDouble(result.fraction_sprinted) +
+           "\n";
+    out += "fraction_timed_out " + GoldenDouble(result.fraction_timed_out) +
+           "\n";
+    out += "total_sprint_seconds " +
+           GoldenDouble(result.total_sprint_seconds) + "\n";
+    out += "makespan " + GoldenDouble(result.makespan) + "\n";
+    out += "median " + GoldenDouble(result.MedianResponseTime()) + "\n";
+    out += "p99 " + GoldenDouble(result.PercentileResponseTime(0.99)) + "\n";
+    out += "== sim/trace\n";
+    for (size_t i = 0; i < std::min<size_t>(trace.size(), 24); ++i) {
+      AppendSimQueryLine(&out, i, trace[i]);
+    }
+    out += "== sim/metrics\n" + metrics.Snapshot().ToText();
+    obs::AttributionOptions options;
+    options.top_k = 3;
+    out += "== sim/attribution\n" +
+           obs::FormatAttribution(obs::Attribute(spans.Spans(), options));
+  }
+
+  // --- multiclass simulator (shared budget, per-class policies).
+  const EmpiricalDistribution fast({8.0, 10.5, 12.25, 15.0});
+  const EmpiricalDistribution slow({80.0, 95.5, 120.25, 150.0});
+  MultiClassSimConfig mc;
+  mc.arrival_rate_per_second = 1.0 / 30.0;
+  mc.arrival_kind = DistributionKind::kUniform;
+  mc.classes.push_back({"fast", 3.0, &fast, 20.0, 1.4});
+  mc.classes.push_back({"slow", 1.0, &slow, 140.0, 2.0});
+  mc.budget_capacity_seconds = 25.0;
+  mc.budget_refill_seconds = 120.0;
+  mc.slots = 2;
+  mc.num_queries = 300;
+  mc.warmup_queries = 30;
+  mc.seed = 77;
+  const MultiClassSimResult mres = SimulateMultiClassQueue(mc);
+  out += "== multiclass/result\n";
+  out += "mean_response_time " + GoldenDouble(mres.mean_response_time) + "\n";
+  out += "total_sprint_seconds " + GoldenDouble(mres.total_sprint_seconds) +
+         "\n";
+  out += "makespan " + GoldenDouble(mres.makespan) + "\n";
+  for (const auto& klass : mres.per_class) {
+    out += "class " + klass.name + " completed=" +
+           std::to_string(klass.completed) + " mean_response=" +
+           GoldenDouble(klass.mean_response_time) + " mean_queueing=" +
+           GoldenDouble(klass.mean_queueing_delay) + " fraction_sprinted=" +
+           GoldenDouble(klass.fraction_sprinted) + "\n";
+  }
+  return out;
+}
+
+TEST(DeterminismTest, EventEngineMatchesCommittedGolden) {
+  const std::string got = EventEngineGoldenExport();
+  const std::string path =
+      std::string(MSPRINT_SOURCE_DIR) + "/tests/golden/event_engine.txt";
+  if (const char* update = std::getenv("MSPRINT_UPDATE_GOLDEN");
+      update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    out.close();
+    GTEST_SKIP() << "golden rewritten: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " (generate with MSPRINT_UPDATE_GOLDEN=1)";
+  std::string want((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_EQ(got.size(), want.size())
+      << "export size diverged from the committed pre-overhaul golden";
+  EXPECT_EQ(got, want);
 }
 
 }  // namespace

@@ -12,9 +12,17 @@
 # disappears, a count that jumps, a latency component that grows — still
 # breaches.
 #
+# It also owns the perf-trajectory baseline: `--bench` reruns the
+# MSPRINT_BENCH_FAST microbenchmark suite and rewrites
+# bench/baselines/BENCH_micro.json, the reference that
+# tools/check_bench_regression.sh gates CI runs against. Refresh it from
+# the same runner class CI uses — the gate compares wall-clock
+# nanoseconds.
+#
 # Usage:
-#   tools/update_baselines.sh            # rewrite bench/baselines/
-#   tools/update_baselines.sh --check    # verify against a fresh run
+#   tools/update_baselines.sh            # rewrite the obs baselines
+#   tools/update_baselines.sh --check    # verify obs baselines vs fresh run
+#   tools/update_baselines.sh --bench    # rewrite the bench perf baseline
 #
 # MSPRINT_BUILD_DIR overrides the build tree (default: <repo>/build).
 
@@ -24,6 +32,20 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${MSPRINT_BUILD_DIR:-$ROOT/build}"
 MSPRINT="$BUILD/tools/msprint"
 BASELINES="$ROOT/bench/baselines"
+
+if [ "${1:-}" = "--bench" ]; then
+  BENCH="$BUILD/bench/bench_micro"
+  if [ ! -x "$BENCH" ]; then
+    echo "error: $BENCH not built (set MSPRINT_BUILD_DIR?)" >&2
+    exit 1
+  fi
+  # Same invocation as CI's perf job: fast mode, the throughput-critical
+  # benchmark families only, json artifact as the sole output.
+  MSPRINT_BENCH_FAST=1 MSPRINT_BENCH_DIR="$BASELINES" "$BENCH" --json-only \
+    --benchmark_filter='BM_SimRun|BM_TestbedRun|BM_EventQueueChurn|BM_HeapChurnReference|BM_TickSimulator'
+  echo "bench baseline written to $BASELINES/BENCH_micro.json"
+  exit 0
+fi
 
 if [ ! -x "$MSPRINT" ]; then
   echo "error: $MSPRINT not built (set MSPRINT_BUILD_DIR?)" >&2
