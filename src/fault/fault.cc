@@ -176,7 +176,20 @@ bool FaultInjector::SprintToggleFails(uint64_t query, double now) {
 }
 
 bool FaultInjector::BreakerActive(double now) const {
+  if (now < forced_lockout_until_) {
+    return true;
+  }
   return enabled() && plan_->BreakerActiveAt(now);
+}
+
+void FaultInjector::ForceBreakerLockout(double now, double cooldown_seconds) {
+  if (!std::isfinite(now) || !std::isfinite(cooldown_seconds) ||
+      cooldown_seconds < 0.0) {
+    return;
+  }
+  forced_lockout_until_ =
+      std::max(forced_lockout_until_, now + cooldown_seconds);
+  RecordBreakerTrip(now, cooldown_seconds);
 }
 
 double FaultInjector::ServiceMultiplier(uint64_t query, double now) {

@@ -171,8 +171,20 @@ class FaultInjector {
   // True when `query`'s sprint toggle fails; records the fault.
   bool SprintToggleFails(uint64_t query, double now);
 
-  // True while a breaker lockout window covers `now`.
+  // True while a breaker lockout window covers `now` — either one scheduled
+  // by the plan or one forced via ForceBreakerLockout.
   bool BreakerActive(double now) const;
+
+  // Opens an unscheduled lockout window [now, now + cooldown_seconds) and
+  // records the trip, independent of any plan (works with a null plan too).
+  // The model checker (src/mc) uses this to trip the breaker at
+  // nondeterministically chosen instants; overlapping calls extend the
+  // window. Non-finite or negative cooldowns are ignored.
+  void ForceBreakerLockout(double now, double cooldown_seconds);
+
+  // End of the forced lockout window (0 when never forced). Exposed so
+  // the model checker can snapshot/restore the lockout state bit-exactly.
+  double forced_lockout_until() const { return forced_lockout_until_; }
 
   // Service-time multiplier for `query` (records outliers > 1).
   double ServiceMultiplier(uint64_t query, double now);
@@ -186,6 +198,7 @@ class FaultInjector {
  private:
   const FaultPlan* plan_;
   FaultTrace trace_;
+  double forced_lockout_until_ = 0.0;
 };
 
 // One event on the telemetry path between the serving layer and the

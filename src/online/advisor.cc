@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "src/obs/obs.h"
 
@@ -19,9 +20,23 @@ AdvisorRung Promoted(AdvisorRung rung) {
                                       : AdvisorRung::kHybrid;
 }
 
+// Always-on ladder-invariant self-check: the production paths assert the
+// invariants the model checker (src/mc) verifies exhaustively, so a breach
+// that somehow reaches production is counted instead of passing silently.
+// `name` is a stable per-invariant suffix under advisor/invariant_breach/.
+void CheckLadderInvariant(bool holds, const char* name) {
+  if (holds) {
+    return;
+  }
+  obs::Count("advisor/invariant_breach");
+  obs::Count(name);
+}
+
 }  // namespace
 
 std::string ToString(AdvisorRung rung) {
+  // Exhaustive by design: no default, so -Werror (-Wswitch) flags a future
+  // fourth rung at every call site that must learn about it.
   switch (rung) {
     case AdvisorRung::kHybrid:
       return "hybrid";
@@ -30,7 +45,7 @@ std::string ToString(AdvisorRung rung) {
     case AdvisorRung::kStatic:
       return "static";
   }
-  return "unknown";
+  std::abort();  // unreachable: the switch above covers every rung
 }
 
 OnlineAdvisor::OnlineAdvisor(const PerformanceModel& model,
@@ -67,6 +82,18 @@ void OnlineAdvisor::OnObservedResponseTime(double now,
     health_error_sum_ -= health_errors_.front();
     health_errors_.pop_front();
   }
+}
+
+void OnlineAdvisor::OnBreakerTrip(double now, double cooldown_seconds) {
+  if (!std::isfinite(now) || !std::isfinite(cooldown_seconds) ||
+      cooldown_seconds < 0.0) {
+    return;  // corrupt trip telemetry must not poison the lockout window
+  }
+  breaker_lockout_until_ =
+      std::max(breaker_lockout_until_, now + cooldown_seconds);
+  obs::Count("online/breaker_lockouts");
+  obs::Emit(now, obs::EventKind::kBreakerTrip, obs::Subsystem::kOnline,
+            obs::Severity::kWarn, 0, cooldown_seconds);
 }
 
 double OnlineAdvisor::EstimatedArrivalRate(double now) const {
@@ -122,6 +149,12 @@ void OnlineAdvisor::UpdateRung(double now) {
   if (next == rung_) {
     return;
   }
+  // The window is cleared on every transition, so a further move needs
+  // health_min_observations fresh samples — the guard above enforces it;
+  // the self-check keeps a future edit from silently weakening it.
+  CheckLadderInvariant(
+      health_errors_.size() >= config_.health_min_observations,
+      "advisor/invariant_breach/transition_without_fresh_samples");
   const bool demotion = next > rung_;
   rung_ = next;
   ++rung_transition_count_;
@@ -141,6 +174,10 @@ const PerformanceModel& OnlineAdvisor::ActiveModel() const {
 }
 
 void OnlineAdvisor::Replan(double now, double utilization) {
+  // Recommend() must not re-plan before the backoff deadline lapses (a
+  // poll at exactly the deadline is the earliest legal retry).
+  CheckLadderInvariant(now >= backoff_until_,
+                       "advisor/invariant_breach/replan_during_backoff");
   ModelInput input = config_.base;
   // Clamp into the trained domain; the model cannot extrapolate past a
   // saturated queue (Section 5).
@@ -222,24 +259,54 @@ void OnlineAdvisor::Replan(double now, double utilization) {
   backoff_until_ = now + config_.replan_backoff_seconds;
 }
 
+std::optional<Recommendation> OnlineAdvisor::Serve(double now) const {
+  if (!current_.has_value()) {
+    return std::nullopt;
+  }
+  Recommendation served = *current_;
+  if (now < breaker_lockout_until_ &&
+      served.timeout_seconds < config_.static_timeout_seconds) {
+    // Breaker lockout overlay: keep the standing plan but disable
+    // sprinting until the lockout lapses. The override is computed at
+    // serve time and never stored, so the plan resumes by itself.
+    served.timeout_seconds = config_.static_timeout_seconds;
+    served.sprint_locked_out = true;
+    obs::Count("online/lockout_overrides");
+  }
+  CheckLadderInvariant(
+      !(now < breaker_lockout_until_ &&
+        served.timeout_seconds < config_.static_timeout_seconds),
+      "advisor/invariant_breach/sprint_while_locked_out");
+  // Timeout 0 is legal (the explorer's range starts at 0: sprint
+  // immediately); negative or non-finite policies are breaches.
+  CheckLadderInvariant(
+      std::isfinite(served.timeout_seconds) && served.timeout_seconds >= 0.0 &&
+          std::isfinite(served.predicted_response_time) &&
+          served.predicted_response_time >= 0.0,
+      "advisor/invariant_breach/non_finite_policy");
+  return served;
+}
+
 std::optional<Recommendation> OnlineAdvisor::Recommend(double now) {
   const double utilization = EstimatedUtilization(now);
-  if (rate_estimator_.EventsInWindow(now) < 5) {
-    return current_;  // not enough signal yet
+  if (rate_estimator_.EventsInWindow(now) < config_.min_signal_events) {
+    return Serve(now);  // not enough signal yet
   }
   UpdateRung(now);
   // Always feed the drift detector, even when a ladder move already forced
   // a re-plan, so the utilization stream stays continuous.
   const bool drift_replan = ShouldReplan(utilization);
   if (!pending_replan_ && !drift_replan) {
-    return current_;
+    return Serve(now);
   }
+  // Boundary pinned by tests: a poll at exactly the deadline retries
+  // (now == backoff_until_ re-plans); only a strictly earlier poll waits.
   if (now < backoff_until_) {
     pending_replan_ = true;  // retry once the backoff lapses
-    return current_;
+    return Serve(now);
   }
   Replan(now, utilization);
-  return current_;
+  return Serve(now);
 }
 
 std::vector<double> OnlineAdvisor::PredictTimeouts(
@@ -281,6 +348,7 @@ void OnlineAdvisor::SaveState(persist::Writer& w) const {
   w.PutBool(pending_replan_);
   w.PutF64(backoff_until_);
   w.PutU64(replan_failure_count_);
+  w.PutF64(breaker_lockout_until_);
 }
 
 namespace {
@@ -339,6 +407,8 @@ void OnlineAdvisor::RestoreState(persist::Reader& r) {
   const bool pending_replan = r.GetBool();
   const double backoff_until = r.GetFiniteF64("replan backoff deadline");
   const uint64_t replan_failures = r.GetU64();
+  const double breaker_lockout_until =
+      r.GetFiniteF64("breaker lockout deadline");
   // The snapshot is always the whole payload; trailing bytes mean a
   // writer/reader mismatch. Checked before the commit point so even that
   // leaves the advisor untouched.
@@ -357,6 +427,7 @@ void OnlineAdvisor::RestoreState(persist::Reader& r) {
   pending_replan_ = pending_replan;
   backoff_until_ = backoff_until;
   replan_failure_count_ = static_cast<size_t>(replan_failures);
+  breaker_lockout_until_ = breaker_lockout_until;
 }
 
 }  // namespace msprint

@@ -27,7 +27,20 @@
 //     rung and keeps the standing recommendation until the backoff lapses;
 //   * hysteresis: a fresh plan replaces the standing recommendation only
 //     when the best timeout moved materially (or the rung changed), so
-//     noisy estimates cannot make the recommendation flap.
+//     noisy estimates cannot make the recommendation flap;
+//   * breaker awareness: OnBreakerTrip opens a lockout window during which
+//     every served recommendation has sprinting disabled (the standing
+//     plan is kept and resumes once the lockout lapses), so the advisor
+//     can never tell the serving layer to sprint into a tripped breaker.
+//
+// The ladder invariants the design promises (never serve a sprinting
+// policy while breaker-locked-out, always serve a finite policy once one
+// exists, no watchdog transition before health_min_observations fresh
+// samples, no replan before the backoff deadline) are self-checked on the
+// production code paths: a violation increments the always-on
+// `advisor/invariant_breach` obs counters (see CheckLadderInvariant in
+// advisor.cc). src/mc additionally model-checks the same invariants by
+// exhaustive interleaving enumeration (DESIGN.md section 13).
 
 #ifndef MSPRINT_SRC_ONLINE_ADVISOR_H_
 #define MSPRINT_SRC_ONLINE_ADVISOR_H_
@@ -49,6 +62,10 @@ std::string ToString(AdvisorRung rung);
 struct AdvisorConfig {
   double rate_window_seconds = 600.0;
   size_t service_window_count = 200;
+  // Recommend() serves nothing until this many arrivals are in the rate
+  // window — below it the utilization estimate is noise. The model checker
+  // shrinks this to keep its bounded horizons short.
+  size_t min_signal_events = 5;
   // Page-Hinkley parameters on normalized utilization observations.
   double drift_delta = 0.01;
   double drift_threshold = 0.5;
@@ -99,6 +116,10 @@ struct Recommendation {
   size_t revision = 0;  // increments every time the advisor re-plans
   // Ladder rung the recommendation was planned on.
   AdvisorRung rung = AdvisorRung::kHybrid;
+  // True when a breaker lockout overrode the standing plan's timeout to
+  // the sprint-disabled one for this serve. Set at serve time, never
+  // stored: the standing plan resumes as soon as the lockout lapses.
+  bool sprint_locked_out = false;
 };
 
 class OnlineAdvisor {
@@ -115,6 +136,13 @@ class OnlineAdvisor {
   // Feeds the model-health watchdog one end-to-end observed response time
   // to compare against the standing recommendation's prediction.
   void OnObservedResponseTime(double now, double response_seconds);
+
+  // Reports a circuit-breaker trip: sprinting is locked out until
+  // `now + cooldown_seconds`. While the lockout is active Recommend()
+  // serves the standing plan with sprinting disabled (timeout overridden
+  // to static_timeout_seconds, sprint_locked_out set). Non-finite or
+  // negative cooldowns are ignored; overlapping trips extend the window.
+  void OnBreakerTrip(double now, double cooldown_seconds);
 
   // Current estimated conditions.
   double EstimatedArrivalRate(double now) const;
@@ -140,6 +168,13 @@ class OnlineAdvisor {
   AdvisorRung rung() const { return rung_; }
   size_t rung_transition_count() const { return rung_transition_count_; }
   size_t replan_failure_count() const { return replan_failure_count_; }
+  // Deadline of the pending retry backoff (0 before any failure). A poll
+  // at exactly the deadline retries; only now < backoff_until() waits.
+  double backoff_until() const { return backoff_until_; }
+  // End of the active breaker lockout window (0 when never tripped).
+  double breaker_lockout_until() const { return breaker_lockout_until_; }
+  // Fresh watchdog samples accumulated since the last ladder transition.
+  size_t health_observation_count() const { return health_errors_.size(); }
 
   // Snapshots the advisor's full mutable state: estimator windows, drift
   // accumulators, the watchdog error window, the standing recommendation,
@@ -160,6 +195,9 @@ class OnlineAdvisor {
   void UpdateRung(double now);
   const PerformanceModel& ActiveModel() const;
   void Replan(double now, double utilization);
+  // Applies the breaker-lockout overlay to the standing recommendation and
+  // runs the always-on ladder-invariant self-checks before serving it.
+  std::optional<Recommendation> Serve(double now) const;
 
   const PerformanceModel& model_;
   const WorkloadProfile& profile_;
@@ -178,6 +216,7 @@ class OnlineAdvisor {
   bool pending_replan_ = false;
   double backoff_until_ = 0.0;
   size_t replan_failure_count_ = 0;
+  double breaker_lockout_until_ = 0.0;
 };
 
 }  // namespace msprint

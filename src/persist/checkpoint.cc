@@ -84,6 +84,7 @@ ExploreConfig DeserializeExploreConfig(Reader& r) {
 void SerializeAdvisorConfig(const AdvisorConfig& config, Writer& w) {
   w.PutF64(config.rate_window_seconds);
   w.PutU64(config.service_window_count);
+  w.PutU64(config.min_signal_events);
   w.PutF64(config.drift_delta);
   w.PutF64(config.drift_threshold);
   w.PutF64(config.utilization_slack);
@@ -104,6 +105,7 @@ AdvisorConfig DeserializeAdvisorConfig(Reader& r) {
   AdvisorConfig config;
   config.rate_window_seconds = r.GetFiniteF64("advisor rate window");
   config.service_window_count = static_cast<size_t>(r.GetU64());
+  config.min_signal_events = static_cast<size_t>(r.GetU64());
   config.drift_delta = r.GetFiniteF64("advisor drift delta");
   config.drift_threshold = r.GetFiniteF64("advisor drift threshold");
   config.utilization_slack = r.GetFiniteF64("advisor utilization slack");
@@ -121,7 +123,8 @@ AdvisorConfig DeserializeAdvisorConfig(Reader& r) {
   config.fallback_sim = DeserializePredictionSimConfig(r);
   config.pool = nullptr;  // never persisted; callers re-attach
   if (config.rate_window_seconds <= 0.0 ||
-      config.service_window_count == 0 || config.health_window_count == 0 ||
+      config.service_window_count == 0 || config.min_signal_events == 0 ||
+      config.health_window_count == 0 ||
       config.drift_threshold <= 0.0 || config.drift_delta < 0.0) {
     throw PersistError(ErrorCode::kFormat, "implausible advisor settings");
   }

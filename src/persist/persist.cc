@@ -303,5 +303,24 @@ RecordReader ReadRecordFromFile(const std::string& path,
   return RecordReader::Parse(std::move(bytes), max_version);
 }
 
+// -------------------------------------------------------- fingerprinting
+
+uint64_t Fingerprint64(std::string_view bytes) {
+  // FNV-1a 64-bit over the bytes…
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // …then a splitmix64-style finisher: FNV alone mixes the low bits
+  // poorly, and the dedup map wants all 64 bits avalanche-quality.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 }  // namespace persist
 }  // namespace msprint

@@ -166,6 +166,16 @@ void WriteRecordToFile(const std::string& path, const RecordWriter& record,
 RecordReader ReadRecordFromFile(const std::string& path,
                                 uint32_t max_version = kFormatVersion);
 
+// -------------------------------------------------------- fingerprinting
+
+// Deterministic 64-bit fingerprint of a byte string (FNV-1a with an
+// avalanche finisher — platform- and endianness-independent, stable across
+// runs and builds; NOT cryptographic). The model checker (src/mc) dedups
+// explored states by fingerprinting their bit-exact SaveState bytes, so
+// two states collide exactly when their serialized forms do (modulo the
+// 2^-64 hash-collision risk it accepts).
+uint64_t Fingerprint64(std::string_view bytes);
+
 }  // namespace persist
 }  // namespace msprint
 

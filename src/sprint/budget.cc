@@ -57,8 +57,12 @@ bool SprintBudget::TryConsume(double now, double amount) {
 
 void SprintBudget::ConsumeAllowingDebt(double now, double amount) {
   Advance(now);
+  const bool was_solvent = level_ >= 0.0;
   level_ -= std::max(0.0, amount);
   total_consumed_ += std::max(0.0, amount);
+  if (was_solvent && level_ < 0.0) {
+    ++overdraw_count_;
+  }
 }
 
 double SprintBudget::TimeUntilAvailable(double now, double amount) const {
@@ -93,6 +97,7 @@ void SprintBudget::Serialize(persist::Writer& w) const {
   w.PutF64(last_update_);
   w.PutU64(time_regressions_);
   w.PutF64(total_consumed_);
+  w.PutU64(overdraw_count_);
 }
 
 SprintBudget SprintBudget::Deserialize(persist::Reader& r) {
@@ -105,6 +110,7 @@ SprintBudget SprintBudget::Deserialize(persist::Reader& r) {
   budget.last_update_ = r.GetFiniteF64("budget clock watermark");
   budget.time_regressions_ = static_cast<size_t>(r.GetU64());
   budget.total_consumed_ = r.GetFiniteF64("budget total consumed");
+  budget.overdraw_count_ = static_cast<size_t>(r.GetU64());
   if (budget.capacity_ < 0.0 || budget.refill_rate_ < 0.0 ||
       budget.level_ > budget.capacity_ || budget.total_consumed_ < 0.0) {
     throw persist::PersistError(persist::ErrorCode::kFormat,

@@ -62,6 +62,11 @@ class SprintBudget {
   // time seen.
   size_t time_regressions() const { return time_regressions_; }
 
+  // Times ConsumeAllowingDebt took the level from non-negative to negative.
+  // The model checker (src/mc) asserts this stays 0 on paths that are
+  // supposed to gate sprints on a positive budget.
+  size_t overdraw_count() const { return overdraw_count_; }
+
   void Reset(double now);
 
   // Snapshot/warm-restore of the full accrual state: the token level, the
@@ -82,6 +87,7 @@ class SprintBudget {
   mutable double last_update_ = 0.0;
   mutable size_t time_regressions_ = 0;
   double total_consumed_ = 0.0;
+  size_t overdraw_count_ = 0;
 };
 
 }  // namespace msprint

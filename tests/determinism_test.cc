@@ -676,6 +676,66 @@ TEST(DeterminismTest, WarmRestartedAdvisorMatchesUninterruptedRun) {
   }
 }
 
+// A model whose every prediction throws: the advisor must demote and
+// back off, and that in-flight backoff must survive a warm restart.
+class OfflineModel final : public PerformanceModel {
+ public:
+  std::string name() const override { return "Offline"; }
+  double PredictResponseTime(const WorkloadProfile&,
+                             const ModelInput&) const override {
+    throw std::runtime_error("model backend offline");
+  }
+};
+
+TEST(DeterminismTest, WarmRestartMidBackoffRetriesAtSameSimTime) {
+  const OfflineModel model;
+  const WorkloadProfile profile = DummyProfile();
+  AdvisorConfig config;
+  config.rate_window_seconds = 400.0;
+  config.explore.max_iterations = 120;
+  config.explore.seed = 5;
+  config.fallback_sim = {600, 60, 1, 97};
+  config.replan_max_attempts = 1;
+  config.replan_backoff_seconds = 30.0;
+
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+  }
+  // The dead model fails the plan: one demotion, backoff armed.
+  ASSERT_FALSE(advisor.Recommend(t).has_value());
+  ASSERT_EQ(advisor.rung(), AdvisorRung::kSimulator);
+  const double deadline = advisor.backoff_until();
+  ASSERT_EQ(deadline, t + 30.0);
+
+  // Snapshot mid-backoff and restore into a fresh advisor.
+  persist::Writer snapshot;
+  advisor.SaveState(snapshot);
+  OnlineAdvisor resumed(model, profile, config);
+  persist::Reader r(snapshot.bytes());
+  resumed.RestoreState(r);
+  EXPECT_EQ(resumed.backoff_until(), deadline);
+  EXPECT_EQ(resumed.rung(), AdvisorRung::kSimulator);
+  EXPECT_EQ(resumed.replan_failure_count(), advisor.replan_failure_count());
+
+  // Both advisors keep honouring the same deadline at the same sim-time:
+  // strictly-before polls wait, the poll at exactly `deadline` retries on
+  // the fallback simulator, and the recommendations match bit for bit.
+  EXPECT_FALSE(advisor.Recommend(deadline - 5.0).has_value());
+  EXPECT_FALSE(resumed.Recommend(deadline - 5.0).has_value());
+  const auto original = advisor.Recommend(deadline);
+  const auto restored = resumed.Recommend(deadline);
+  ASSERT_TRUE(original.has_value());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->rung, original->rung);
+  EXPECT_EQ(restored->timeout_seconds, original->timeout_seconds);
+  EXPECT_EQ(restored->predicted_response_time,
+            original->predicted_response_time);
+  EXPECT_EQ(restored->revision, original->revision);
+}
+
 // ------------------------------------------------------------ thread pool
 
 TEST(ThreadPoolHardeningTest, ParallelForPropagatesException) {

@@ -1,0 +1,273 @@
+// Tests for the bounded model checker (src/mc): trace format round trips,
+// harness snapshot/restore bit-exactness, clean-system exploration,
+// report determinism, injected-bug counterexample discovery +
+// minimization + replay, and the committed golden-trace corpus.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/thread_pool.h"
+#include "src/mc/mc.h"
+#include "src/persist/persist.h"
+
+namespace msprint {
+namespace mc {
+namespace {
+
+// ------------------------------------------------------- trace format
+
+TEST(McTraceTest, ActionFormatRoundTrips) {
+  for (const Action& action : DefaultAlphabet()) {
+    const std::string line = FormatAction(action);
+    const Action parsed = ParseAction(line);
+    EXPECT_EQ(parsed.kind, action.kind) << line;
+    EXPECT_DOUBLE_EQ(parsed.value, action.value) << line;
+    EXPECT_EQ(FormatAction(parsed), line);
+  }
+}
+
+TEST(McTraceTest, ParseActionRejectsMalformedInput) {
+  EXPECT_THROW(ParseAction("warp 9"), std::runtime_error);
+  EXPECT_THROW(ParseAction("arrival"), std::runtime_error);
+  EXPECT_THROW(ParseAction("arrival nan"), std::runtime_error);
+  EXPECT_THROW(ParseAction("arrival 5 extra"), std::runtime_error);
+  EXPECT_THROW(ParseAction("poll 1"), std::runtime_error);
+}
+
+TEST(McTraceTest, TraceFileRoundTrips) {
+  TraceFile trace;
+  trace.actions = {{ActionKind::kArrival, 5.0},
+                   {ActionKind::kBreakerTrip, 60.0},
+                   {ActionKind::kPoll, 0.0}};
+  trace.bug = InjectedBug::kBreakerSignalDrop;
+  trace.invariant = "no-sprint-while-locked-out";
+  const std::string text = FormatTraceFile(trace);
+  const TraceFile parsed = ParseTraceFile(text);
+  EXPECT_EQ(parsed.actions.size(), trace.actions.size());
+  EXPECT_EQ(parsed.bug, trace.bug);
+  EXPECT_EQ(parsed.invariant, trace.invariant);
+  EXPECT_EQ(FormatTraceFile(parsed), text);
+}
+
+TEST(McTraceTest, ParseTraceFileFailsClosed) {
+  EXPECT_THROW(ParseTraceFile(""), std::runtime_error);
+  EXPECT_THROW(ParseTraceFile("not a trace\npoll\n"), std::runtime_error);
+  EXPECT_THROW(
+      ParseTraceFile("# msprint mc trace v1\n# injected-bug warp\n"),
+      std::runtime_error);
+  EXPECT_THROW(ParseTraceFile("# msprint mc trace v1\nbogus 1\n"),
+               std::runtime_error);
+}
+
+TEST(McTraceTest, InjectedBugNamesRoundTrip) {
+  for (const InjectedBug bug :
+       {InjectedBug::kNone, InjectedBug::kBudgetDebt,
+        InjectedBug::kBreakerSignalDrop}) {
+    const auto parsed = InjectedBugFromName(ToString(bug));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, bug);
+  }
+  EXPECT_FALSE(InjectedBugFromName("warp-core-breach").has_value());
+}
+
+// ----------------------------------------------------------- harness
+
+TEST(McHarnessTest, SnapshotRestoreIsBitExact) {
+  const McConfig config;
+  LadderHarness harness(config);
+  // Drive through every action kind, snapshotting along the way; every
+  // restore must reproduce the exact bytes (the dedup fingerprint's
+  // soundness rests on this).
+  const auto alphabet = DefaultAlphabet();
+  std::string bytes = harness.SaveState();
+  for (int round = 0; round < 2; ++round) {
+    for (const Action& action : alphabet) {
+      harness.RestoreState(bytes);
+      EXPECT_EQ(harness.SaveState(), bytes) << FormatAction(action);
+      const auto violation = harness.Apply(action);
+      EXPECT_FALSE(violation.has_value()) << FormatAction(action);
+      const std::string after = harness.SaveState();
+      const uint64_t fp = harness.Fingerprint();
+      // Re-applying the same action from the same state is deterministic.
+      harness.RestoreState(bytes);
+      harness.Apply(action);
+      EXPECT_EQ(harness.SaveState(), after) << FormatAction(action);
+      EXPECT_EQ(harness.Fingerprint(), fp) << FormatAction(action);
+      bytes = after;
+    }
+  }
+}
+
+TEST(McHarnessTest, RestoreRejectsMalformedBytes) {
+  const McConfig config;
+  LadderHarness harness(config);
+  const std::string good = harness.SaveState();
+  EXPECT_THROW(harness.RestoreState(good.substr(0, good.size() / 2)),
+               persist::PersistError);
+  // The failed restore left the harness usable.
+  harness.RestoreState(good);
+  EXPECT_EQ(harness.SaveState(), good);
+}
+
+// ------------------------------------------------------- clean system
+
+TEST(McCheckerTest, CleanSystemHasNoViolations) {
+  McConfig config;
+  config.horizon = 4;
+  const McReport report = RunBoundedCheck(config);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->invariant << ": " << report.violation->detail;
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.max_depth, 4u);
+  EXPECT_GT(report.states, 100u);
+  EXPECT_GT(report.dedup_hits, 0u);
+  // The bounded space already reaches the interesting corners.
+  EXPECT_TRUE(report.reached_simulator);
+  EXPECT_GT(report.lockout_polls, 0u);
+  EXPECT_GT(report.max_budget_consumed, 0.0);
+}
+
+TEST(McCheckerTest, DeeperHorizonExploresStrictlyMore) {
+  McConfig shallow;
+  shallow.horizon = 3;
+  McConfig deep;
+  deep.horizon = 4;
+  const McReport a = RunBoundedCheck(shallow);
+  const McReport b = RunBoundedCheck(deep);
+  EXPECT_GT(b.states, a.states);
+  EXPECT_GT(b.transitions, a.transitions);
+}
+
+TEST(McCheckerTest, TruncationCapIsReportedNotSilent) {
+  McConfig config;
+  config.horizon = 5;
+  config.max_transitions = 100;
+  const McReport report = RunBoundedCheck(config);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_LE(report.transitions, 101u);
+}
+
+TEST(McCheckerTest, ReportIsByteIdenticalForAnyPoolSize) {
+  // The advisor's replanning runs on the shared pool; the invariant
+  // "same seed => byte-identical mc report for any MSPRINT_THREADS" must
+  // hold the same way it does for every other export.
+  McConfig config;
+  config.horizon = 3;
+  std::string first;
+  for (const size_t pool_size : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(pool_size);
+    // The mc harness uses the global pool via the advisor config; runs
+    // here only prove the serial DFS never picks up pool-size state.
+    const McReport report = RunBoundedCheck(config);
+    const std::string text = FormatReport(report);
+    if (first.empty()) {
+      first = text;
+    } else {
+      EXPECT_EQ(text, first);
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+// ------------------------------------------------------ injected bugs
+
+TEST(McCheckerTest, FindsBudgetDebtBugAndMinimizes) {
+  McConfig config;
+  config.horizon = 5;
+  config.bug = InjectedBug::kBudgetDebt;
+  const McReport report = RunBoundedCheck(config);
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_EQ(report.violation->invariant, "budget-non-negative");
+  // Minimal counterexample: two arrivals to clear the signal floor, then
+  // three ungated sprint polls drain 9 > 6 capacity.
+  ASSERT_EQ(report.counterexample.size(), 5u);
+  // 1-minimality: dropping any single action breaks the reproduction.
+  for (size_t skip = 0; skip < report.counterexample.size(); ++skip) {
+    Trace candidate;
+    for (size_t i = 0; i < report.counterexample.size(); ++i) {
+      if (i != skip) {
+        candidate.push_back(report.counterexample[i]);
+      }
+    }
+    const auto violation = ReplayTrace(config, candidate);
+    EXPECT_FALSE(violation.has_value() &&
+                 violation->invariant == "budget-non-negative")
+        << "trace not 1-minimal: action " << skip << " is removable";
+  }
+  // The minimized trace replays to the same violation...
+  const auto replayed = ReplayTrace(config, report.counterexample);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->invariant, "budget-non-negative");
+  // ...and the fixed system replays the same actions cleanly.
+  McConfig fixed = config;
+  fixed.bug = InjectedBug::kNone;
+  EXPECT_FALSE(ReplayTrace(fixed, report.counterexample).has_value());
+}
+
+TEST(McCheckerTest, FindsBreakerSignalDropBug) {
+  McConfig config;
+  config.horizon = 5;
+  config.bug = InjectedBug::kBreakerSignalDrop;
+  const McReport report = RunBoundedCheck(config);
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_EQ(report.violation->invariant, "no-sprint-while-locked-out");
+  EXPECT_LE(report.counterexample.size(), 5u);
+  const auto replayed = ReplayTrace(config, report.counterexample);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->invariant, "no-sprint-while-locked-out");
+  McConfig fixed = config;
+  fixed.bug = InjectedBug::kNone;
+  EXPECT_FALSE(ReplayTrace(fixed, report.counterexample).has_value());
+}
+
+// ------------------------------------------------------- golden corpus
+
+TEST(McGoldenTest, CommittedTracesReplayAsRecorded) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MSPRINT_SOURCE_DIR) / "tests" / "golden" /
+      "mc_traces";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".trace") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const TraceFile trace = ParseTraceFile(buffer.str());
+    ++replayed;
+
+    // With the recorded bug injected, the recorded invariant violation
+    // reproduces exactly; frontier traces (invariant "none") are clean.
+    McConfig config;
+    config.bug = trace.bug;
+    const auto violation = ReplayTrace(config, trace.actions);
+    if (trace.invariant == "none") {
+      EXPECT_FALSE(violation.has_value())
+          << entry.path() << ": " << violation->invariant;
+    } else {
+      ASSERT_TRUE(violation.has_value()) << entry.path();
+      EXPECT_EQ(violation->invariant, trace.invariant) << entry.path();
+    }
+
+    // The shipped (bug-free) system replays every committed trace
+    // cleanly — each counterexample is a permanent regression test.
+    McConfig clean;
+    clean.bug = InjectedBug::kNone;
+    const auto clean_violation = ReplayTrace(clean, trace.actions);
+    EXPECT_FALSE(clean_violation.has_value())
+        << entry.path() << ": " << clean_violation->invariant << ": "
+        << clean_violation->detail;
+  }
+  EXPECT_GE(replayed, 2u) << "golden corpus unexpectedly empty: " << dir;
+}
+
+}  // namespace
+}  // namespace mc
+}  // namespace msprint

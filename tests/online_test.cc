@@ -425,5 +425,77 @@ TEST(AdvisorLadderTest, ThrowingModelRetriesThenDemotesWithBackoff) {
   EXPECT_GT(rec->timeout_seconds, 0.0);
 }
 
+TEST(AdvisorLadderTest, BackoffBoundaryPollAtExactDeadlineRetries) {
+  const ThrowingModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  AdvisorConfig config = WatchdogConfig();
+  config.replan_max_attempts = 1;
+  config.replan_backoff_seconds = 30.0;
+  OnlineAdvisor advisor(model, profile, config);
+
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 20.0;
+    advisor.OnArrival(t);
+  }
+  EXPECT_FALSE(advisor.Recommend(t).has_value());
+  ASSERT_EQ(advisor.backoff_until(), t + 30.0);
+
+  // Pinned boundary semantics: a poll strictly before the deadline
+  // waits; a poll at exactly `backoff_until()` retries. The mc checker's
+  // backoff-respected invariant encodes the same contract — a re-plan at
+  // now == backoff_until_ is legal, one at now < backoff_until_ is not.
+  EXPECT_FALSE(advisor.Recommend(advisor.backoff_until() - 0.001).has_value());
+  const auto rec = advisor.Recommend(advisor.backoff_until());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->rung, AdvisorRung::kSimulator);
+}
+
+// ----------------------------------------------- breaker lockout overlay
+
+TEST(AdvisorLadderTest, BreakerTripLocksOutSprintingUntilLapse) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  const AdvisorConfig config = WatchdogConfig();
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  const Recommendation before = ObserveAndRecommend(advisor, t, 1.0, 20);
+  EXPECT_FALSE(before.sprint_locked_out);
+  ASSERT_LT(before.timeout_seconds, config.static_timeout_seconds);
+
+  advisor.OnBreakerTrip(t, 60.0);
+  EXPECT_DOUBLE_EQ(advisor.breaker_lockout_until(), t + 60.0);
+
+  // Inside the lockout window every served recommendation is clamped to
+  // the never-sprint static timeout; the plan itself is untouched.
+  const auto locked = advisor.Recommend(t + 1.0);
+  ASSERT_TRUE(locked.has_value());
+  EXPECT_TRUE(locked->sprint_locked_out);
+  EXPECT_DOUBLE_EQ(locked->timeout_seconds, config.static_timeout_seconds);
+
+  // Once the lockout lapses the standing plan serves again, unclamped.
+  const auto after = advisor.Recommend(t + 60.0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(after->sprint_locked_out);
+  EXPECT_DOUBLE_EQ(after->timeout_seconds, before.timeout_seconds);
+}
+
+TEST(AdvisorLadderTest, RepeatedBreakerTripsExtendNotShrinkLockout) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, WatchdogConfig());
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);
+
+  advisor.OnBreakerTrip(t, 120.0);
+  const double first_deadline = advisor.breaker_lockout_until();
+  // A shorter overlapping trip must never shorten an active lockout.
+  advisor.OnBreakerTrip(t + 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(advisor.breaker_lockout_until(), first_deadline);
+  // A longer one extends it.
+  advisor.OnBreakerTrip(t + 2.0, 600.0);
+  EXPECT_DOUBLE_EQ(advisor.breaker_lockout_until(), t + 2.0 + 600.0);
+}
+
 }  // namespace
 }  // namespace msprint

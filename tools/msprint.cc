@@ -80,9 +80,13 @@
 
 #include <algorithm>
 
+#include <filesystem>
+
+#include "src/common/fileio.h"
 #include "src/core/analytic_model.h"
 #include "src/core/effective_rate.h"
 #include "src/explore/explorer.h"
+#include "src/mc/mc.h"
 #include "src/obs/attrib.h"
 #include "src/obs/diff.h"
 #include "src/obs/export.h"
@@ -210,6 +214,16 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+std::string ReadFileOrThrow(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 int CmdCatalog() {
   std::cout << "Workloads (Table 1C):\n";
@@ -428,7 +442,45 @@ TestbedConfig TestbedConfigFromFlags(const Flags& flags) {
   return config;
 }
 
+// Replays a model-checker trace (tests/golden/mc_traces/*.trace) through
+// the ladder harness and prints the breaker faults it fired plus the
+// invariant verdict — the `msprint faults` side of the counterexample
+// pipeline. Exit 4 when the recorded invariant violation reproduces.
+int ReplayMcTraceAsFaults(const std::string& path) {
+  const mc::TraceFile trace = mc::ParseTraceFile(ReadFileOrThrow(path));
+  mc::McConfig config;
+  config.bug = trace.bug;
+  mc::LadderHarness harness(config);
+  std::optional<mc::Violation> violation;
+  size_t applied = 0;
+  for (const mc::Action& action : trace.actions) {
+    violation = harness.Apply(action);
+    ++applied;
+    if (violation.has_value()) {
+      break;
+    }
+  }
+  std::cout << FormatFaultTrace(harness.fault_trace());
+  std::cout << "# mc-trace " << path << "\n"
+            << "# injected-bug " << mc::ToString(trace.bug) << "\n"
+            << "# actions " << applied << "/" << trace.actions.size()
+            << ", rung " << ToString(harness.advisor().rung())
+            << ", budget " << obs::StableDouble(harness.budget().Available(
+                                  harness.clock_seconds()))
+            << "\n";
+  if (violation.has_value()) {
+    std::cout << "# violation " << violation->invariant << ": "
+              << violation->detail << "\n";
+    return 4;
+  }
+  std::cout << "# violation none\n";
+  return 0;
+}
+
 int CmdFaults(const Flags& flags) {
+  if (flags.Has("mc-trace")) {
+    return ReplayMcTraceAsFaults(flags.GetString("mc-trace"));
+  }
   const TestbedConfig config = TestbedConfigFromFlags(flags);
 
   // Observe the storm run too: the metrics snapshot and warn-level event
@@ -742,16 +794,6 @@ int CmdExplain(const Flags& flags) {
   return 0;
 }
 
-std::string ReadFileOrThrow(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 int CmdObsDiff(const std::string& path_a, const std::string& path_b,
                const Flags& flags) {
   obs::DiffOptions options;
@@ -762,6 +804,77 @@ int CmdObsDiff(const std::string& path_a, const std::string& path_b,
       ReadFileOrThrow(path_a), ReadFileOrThrow(path_b), options);
   std::cout << result.report;
   return result.breached() ? 3 : 0;
+}
+
+// ------------------------------------------------ bounded model checking
+
+mc::InjectedBug ParseInjectedBugFlag(const Flags& flags) {
+  const std::string name = flags.GetString("inject-bug", "none");
+  const auto bug = mc::InjectedBugFromName(name);
+  if (!bug.has_value()) {
+    throw FlagError("inject-bug",
+                    "expected none|budget-debt|breaker-signal-drop, got '" +
+                        name + "'");
+  }
+  return *bug;
+}
+
+int CmdMc(const Flags& flags) {
+  // Replay mode: reproduce a recorded trace and re-assert the invariants.
+  // The trace's own `# injected-bug` header decides the harness defect;
+  // --inject-bug overrides it (e.g. `none` to prove the fixed system
+  // replays the same actions cleanly).
+  if (flags.Has("replay")) {
+    const std::string path = flags.GetString("replay");
+    mc::TraceFile trace = mc::ParseTraceFile(ReadFileOrThrow(path));
+    mc::McConfig config;
+    config.seed = flags.GetSize("seed", config.seed);
+    config.bug = flags.Has("inject-bug") ? ParseInjectedBugFlag(flags)
+                                         : trace.bug;
+    const auto violation = mc::ReplayTrace(config, trace.actions);
+    std::cout << "# msprint mc replay v1\n"
+              << "trace " << path << "\n"
+              << "actions " << trace.actions.size() << "\n"
+              << "injected-bug " << mc::ToString(config.bug) << "\n"
+              << "expected-invariant " << trace.invariant << "\n";
+    if (violation.has_value()) {
+      std::cout << "violation " << violation->invariant << "\n"
+                << "violation-detail " << violation->detail << "\n";
+      return 4;
+    }
+    std::cout << "violation none\n";
+    return 0;
+  }
+
+  mc::McConfig config;
+  config.horizon = flags.GetSize("horizon", config.horizon);
+  config.seed = flags.GetSize("seed", config.seed);
+  config.max_transitions =
+      flags.GetSize("max-transitions", config.max_transitions);
+  config.bug = ParseInjectedBugFlag(flags);
+
+  const mc::McReport report = mc::RunBoundedCheck(config);
+  std::cout << mc::FormatReport(report);
+
+  if (flags.Has("export")) {
+    const std::string dir = flags.GetString("export");
+    std::filesystem::create_directories(dir);
+    if (report.violation.has_value()) {
+      mc::TraceFile trace{report.counterexample, config.bug,
+                          report.violation->invariant};
+      const std::string path =
+          dir + "/counterexample_" + report.violation->invariant + ".trace";
+      AtomicWriteFile(path, mc::FormatTraceFile(trace));
+      std::cerr << "exported " << path << "\n";
+    }
+    for (const auto& [name, actions] : report.frontier) {
+      mc::TraceFile trace{actions, config.bug, "none"};
+      const std::string path = dir + "/frontier_" + name + ".trace";
+      AtomicWriteFile(path, mc::FormatTraceFile(trace));
+      std::cerr << "exported " << path << "\n";
+    }
+  }
+  return report.violation.has_value() ? 4 : 0;
 }
 
 void PrintUsage(std::ostream& out) {
@@ -798,9 +911,16 @@ void PrintUsage(std::ostream& out) {
       "            to each response time, top-K slowest span trees)\n"
       "  obs-diff  <a> <b> [--max-rel X --approx-rel X --abs-eps X]\n"
       "            (compare two exports; exit 3 on threshold breach)\n"
+      "  mc        [--horizon N --seed S --max-transitions N\n"
+      "            --inject-bug none|budget-debt|breaker-signal-drop\n"
+      "            --export DIR | --replay FILE]\n"
+      "            (bounded model checking of the advisor ladder:\n"
+      "            exhaustive DFS with fingerprint dedup; minimized\n"
+      "            counterexample + exit 4 on invariant violation;\n"
+      "            --replay re-runs a recorded trace)\n"
       "  help                          print this message\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
-      "            3 obs-diff threshold breach\n";
+      "            3 obs-diff threshold breach, 4 mc invariant violation\n";
 }
 
 }  // namespace
@@ -867,6 +987,9 @@ int main(int argc, char** argv) {
     }
     if (command == "trace") {
       return CmdTrace(flags);
+    }
+    if (command == "mc") {
+      return CmdMc(Flags(argc, argv, 2));
     }
     if (command == "explain") {
       return CmdExplain(flags);
