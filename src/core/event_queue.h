@@ -34,7 +34,7 @@
 // Representation. The (time, seq, type) triple is packed into one
 // 128-bit integer key: the IEEE-754 bit pattern of a non-negative double
 // orders exactly like the double itself, so `(bits(time) << 64) |
-// (seq << 2) | type` makes "earlier event" a single unsigned compare —
+// (seq << 3) | type` makes "earlier event" a single unsigned compare —
 // a 32-byte record and a one-branch min-scan, matching the footprint of
 // the heap entries it replaced. Timestamps must be finite and
 // non-negative (simulation clocks start at zero); Push normalizes -0.0
@@ -53,11 +53,11 @@
 
 namespace msprint {
 
-// One scheduled event. `type` is the engine's own enum cast to a 2-bit
+// One scheduled event. `type` is the engine's own enum cast to a 3-bit
 // code; `query` and `stamp` are opaque payload (the engines use them for
 // the query index and the supersession stamp).
 struct EventRecord {
-  unsigned __int128 key = 0;  // (time bits << 64) | (seq << 2) | type
+  unsigned __int128 key = 0;  // (time bits << 64) | (seq << 3) | type
   uint64_t query = 0;
   uint64_t stamp = 0;
 
@@ -67,8 +67,8 @@ struct EventRecord {
     std::memcpy(&t, &bits, sizeof(t));
     return t;
   }
-  uint32_t type() const { return static_cast<uint32_t>(key) & 3u; }
-  uint64_t seq() const { return (static_cast<uint64_t>(key) >> 2); }
+  uint32_t type() const { return static_cast<uint32_t>(key) & 7u; }
+  uint64_t seq() const { return (static_cast<uint64_t>(key) >> 3); }
 };
 
 class EventQueue {
@@ -82,10 +82,10 @@ class EventQueue {
   // Flat-mode push/pop are inline: the engines sit in flat mode for
   // their whole run, and an out-of-line call per event would cost as
   // much as the min-scan itself (the old std::priority_queue was
-  // all-header too). `type` must fit in 2 bits.
+  // all-header too). `type` must fit in 3 bits.
   void Push(double time, uint32_t type, uint64_t query, uint64_t stamp) {
     assert(time >= 0.0);
-    assert(type < 4u);
+    assert(type < 8u);
     EventRecord record;
     record.key = MakeKey(time + 0.0, next_seq_++, type);
     record.query = query;
@@ -133,7 +133,7 @@ class EventQueue {
   static unsigned __int128 MakeKey(double time, uint64_t seq, uint32_t type) {
     uint64_t bits;
     std::memcpy(&bits, &time, sizeof(bits));
-    return (static_cast<unsigned __int128>(bits) << 64) | (seq << 2) | type;
+    return (static_cast<unsigned __int128>(bits) << 64) | (seq << 3) | type;
   }
 
   // Virtual bucket number: position on the unbounded calendar. The

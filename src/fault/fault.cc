@@ -40,6 +40,25 @@ std::vector<TimeWindow> PoissonWindows(uint64_t seed, double rate_per_hour,
   return windows;
 }
 
+// Merges explicitly scheduled windows into the Poisson draws, restoring
+// the begin order AnyWindowContains relies on.
+std::vector<TimeWindow> MergeWindows(std::vector<TimeWindow> windows,
+                                     const std::vector<TimeWindow>& scheduled) {
+  for (const TimeWindow& w : scheduled) {
+    if (!std::isfinite(w.begin) || !std::isfinite(w.end) || w.begin < 0.0 ||
+        w.end < w.begin) {
+      throw std::invalid_argument(
+          "scheduled fault window must satisfy 0 <= begin <= end");
+    }
+    windows.push_back(w);
+  }
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const TimeWindow& a, const TimeWindow& b) {
+                     return a.begin < b.begin;
+                   });
+  return windows;
+}
+
 bool AnyWindowContains(const std::vector<TimeWindow>& windows, double t) {
   // Windows are in begin order but may overlap; the first window beginning
   // after t cannot contain it, so scan the ordered prefix backwards.
@@ -84,7 +103,8 @@ bool FaultPlanConfig::Enabled() const {
          outlier_probability > 0.0 || flash_crowds_per_hour > 0.0 ||
          telemetry_drop_probability > 0.0 ||
          telemetry_duplicate_probability > 0.0 ||
-         telemetry_reorder_probability > 0.0;
+         telemetry_reorder_probability > 0.0 ||
+         !scheduled_breaker_trips.empty() || !scheduled_flash_crowds.empty();
 }
 
 std::string FormatFaultTrace(const FaultTrace& trace) {
@@ -118,12 +138,16 @@ FaultPlan FaultPlan::Generate(const FaultPlanConfig& config,
   const uint64_t fault_seed =
       config.seed != 0 ? config.seed : DeriveSeed(run_seed, 0xFA017u);
   plan.per_query_seed_ = DeriveSeed(fault_seed, kPerQueryStream);
-  plan.breaker_windows_ = PoissonWindows(
-      DeriveSeed(fault_seed, kBreakerStream), config.breaker_trips_per_hour,
-      config.breaker_cooldown_seconds, horizon_seconds);
-  plan.crowd_windows_ = PoissonWindows(
-      DeriveSeed(fault_seed, kCrowdStream), config.flash_crowds_per_hour,
-      config.flash_crowd_duration_seconds, horizon_seconds);
+  plan.breaker_windows_ = MergeWindows(
+      PoissonWindows(DeriveSeed(fault_seed, kBreakerStream),
+                     config.breaker_trips_per_hour,
+                     config.breaker_cooldown_seconds, horizon_seconds),
+      config.scheduled_breaker_trips);
+  plan.crowd_windows_ = MergeWindows(
+      PoissonWindows(DeriveSeed(fault_seed, kCrowdStream),
+                     config.flash_crowds_per_hour,
+                     config.flash_crowd_duration_seconds, horizon_seconds),
+      config.scheduled_flash_crowds);
   return plan;
 }
 

@@ -51,6 +51,11 @@ enum class FaultKind {
 
 std::string ToString(FaultKind kind);
 
+struct TimeWindow {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
 // Knobs for one run's fault schedule. All rates/probabilities default to
 // zero: a default-constructed config injects nothing and the testbed takes
 // its original fault-free path.
@@ -86,6 +91,14 @@ struct FaultPlanConfig {
   double telemetry_reorder_probability = 0.0;
   double telemetry_reorder_delay_seconds = 30.0;
 
+  // Explicitly scheduled windows, merged (in begin order) with the Poisson
+  // draws above. These make metastable-failure scenarios scriptable: a
+  // storm preset pins a flash crowd at t=300s and a breaker trip inside it
+  // instead of waiting for the dice to line up (DESIGN.md §14). Each
+  // window must satisfy 0 <= begin <= end.
+  std::vector<TimeWindow> scheduled_breaker_trips;
+  std::vector<TimeWindow> scheduled_flash_crowds;
+
   bool Enabled() const;
 };
 
@@ -104,11 +117,6 @@ using FaultTrace = std::vector<FaultEvent>;
 // Byte-stable rendering of a trace (one line per event), used to pin
 // determinism in tests and to diff replays from the CLI.
 std::string FormatFaultTrace(const FaultTrace& trace);
-
-struct TimeWindow {
-  double begin = 0.0;
-  double end = 0.0;
-};
 
 // Per-query fault decisions.
 struct QueryFaults {

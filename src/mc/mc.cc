@@ -43,6 +43,10 @@ const char* ActionName(ActionKind kind) {
       return "model-toggle";
     case ActionKind::kPoll:
       return "poll";
+    case ActionKind::kShed:
+      return "shed";
+    case ActionKind::kRetryBurst:
+      return "retry-burst";
   }
   std::abort();  // unreachable: the switch above is exhaustive
 }
@@ -98,7 +102,8 @@ Action ParseAction(const std::string& line) {
   static constexpr ActionKind kKinds[] = {
       ActionKind::kArrival,  ActionKind::kCompletion, ActionKind::kObserve,
       ActionKind::kWait,     ActionKind::kBreakerTrip,
-      ActionKind::kModelToggle, ActionKind::kPoll,
+      ActionKind::kModelToggle, ActionKind::kPoll,    ActionKind::kShed,
+      ActionKind::kRetryBurst,
   };
   for (const ActionKind kind : kKinds) {
     if (name != ActionName(kind)) {
@@ -140,6 +145,18 @@ std::vector<Action> DefaultAlphabet() {
   };
 }
 
+std::vector<Action> OverloadAlphabet() {
+  // Appended after the default twelve, never interleaved: the shared
+  // prefix keeps default-alphabet traces meaningful under either
+  // alphabet, and the order remains part of the deterministic-report
+  // contract.
+  std::vector<Action> alphabet = DefaultAlphabet();
+  alphabet.push_back({ActionKind::kShed, 4.0});        // shed burst reported
+  alphabet.push_back({ActionKind::kShed, -1.0});       // corrupt shed report
+  alphabet.push_back({ActionKind::kRetryBurst, 3.0});  // same-instant retries
+  return alphabet;
+}
+
 // ------------------------------------------------------- injected bugs
 
 std::string ToString(InjectedBug bug) {
@@ -150,6 +167,8 @@ std::string ToString(InjectedBug bug) {
       return "budget-debt";
     case InjectedBug::kBreakerSignalDrop:
       return "breaker-signal-drop";
+    case InjectedBug::kShedSignalDrop:
+      return "shed-signal-drop";
   }
   std::abort();  // unreachable: the switch above is exhaustive
 }
@@ -157,7 +176,7 @@ std::string ToString(InjectedBug bug) {
 std::optional<InjectedBug> InjectedBugFromName(const std::string& name) {
   for (const InjectedBug bug :
        {InjectedBug::kNone, InjectedBug::kBudgetDebt,
-        InjectedBug::kBreakerSignalDrop}) {
+        InjectedBug::kBreakerSignalDrop, InjectedBug::kShedSignalDrop}) {
     if (name == ToString(bug)) {
       return bug;
     }
@@ -171,6 +190,11 @@ std::string FormatTraceFile(const TraceFile& trace) {
   std::string out = "# msprint mc trace v1\n";
   out += "# injected-bug " + ToString(trace.bug) + "\n";
   out += "# invariant " + trace.invariant + "\n";
+  // Written only for overload traces, so legacy trace files round-trip
+  // byte-identically (absence parses as the default alphabet).
+  if (trace.overload) {
+    out += "# alphabet overload\n";
+  }
   for (const Action& action : trace.actions) {
     out += FormatAction(action);
     out += '\n';
@@ -220,6 +244,15 @@ TraceFile ParseTraceFile(const std::string& text) {
                                    ": empty invariant header");
         }
         trace.invariant = name;
+      } else if (key == "alphabet") {
+        std::string name;
+        header >> name;
+        if (name == "overload") {
+          trace.overload = true;
+        } else if (name != "default") {
+          throw std::runtime_error("line " + std::to_string(line_number) +
+                                   ": unknown alphabet '" + name + "'");
+        }
       }
       continue;  // other comment lines are free-form
     }
@@ -257,9 +290,24 @@ struct LadderHarness::Model final : public PerformanceModel {
   }
 };
 
+namespace {
+
+AdvisorConfig HarnessAdvisorConfig(const McConfig& config) {
+  AdvisorConfig advisor_config = McAdvisorConfig(config.seed);
+  if (config.overload_alphabet) {
+    advisor_config.enable_shed_rung = true;
+    // Shrunk so a kWait 35 lapses the window: the DFS reaches both the
+    // in-window and the lapsed regime inside the default horizon.
+    advisor_config.overload_shed_window_seconds = 30.0;
+  }
+  return advisor_config;
+}
+
+}  // namespace
+
 LadderHarness::LadderHarness(const McConfig& config)
     : config_(config),
-      advisor_config_(McAdvisorConfig(config.seed)),
+      advisor_config_(HarnessAdvisorConfig(config)),
       model_(std::make_unique<Model>()),
       profile_(McProfile()),
       advisor_(std::make_unique<OnlineAdvisor>(*model_, profile_,
@@ -318,6 +366,35 @@ std::optional<Violation> LadderHarness::Apply(const Action& action) {
       return std::nullopt;
     case ActionKind::kPoll:
       return Poll();
+    case ActionKind::kShed: {
+      // value = shed count the serving layer reports; < 0 is a corrupt
+      // report dropped on the floor. The ground-truth window is recorded
+      // here, independently of whether the signal survives the (possibly
+      // bug-injected) path to the advisor.
+      const size_t count =
+          action.value > 0.0 ? static_cast<size_t>(action.value) : 0;
+      if (advisor_config_.enable_shed_rung && count > 0) {
+        overload_truth_until_ =
+            std::max(overload_truth_until_,
+                     clock_ + advisor_config_.overload_shed_window_seconds);
+      }
+      if (config_.bug != InjectedBug::kShedSignalDrop) {
+        advisor_->OnShed(clock_, count);
+      }
+      return std::nullopt;
+    }
+    case ActionKind::kRetryBurst: {
+      // A retry storm: N retries hammer the telemetry path at the same
+      // instant (duplicate timestamps; the clock does not move).
+      const int burst =
+          action.value > 0.0
+              ? static_cast<int>(std::min(action.value, 64.0))
+              : 0;
+      for (int i = 0; i < burst; ++i) {
+        advisor_->OnArrival(clock_);
+      }
+      return std::nullopt;
+    }
   }
   std::abort();  // unreachable: the switch above is exhaustive
 }
@@ -397,12 +474,36 @@ std::optional<Violation> LadderHarness::Poll() {
   }
   last_served_predicted_ = rec->predicted_response_time;
 
+  // shed-window-honored: the harness knows (ground truth) that shed
+  // pressure was reported inside the overload window, so whatever path
+  // the signal took, the served recommendation must carry the shed
+  // directive. Strict <, mirroring the advisor's own window comparison:
+  // a serve at exactly the deadline legally stops shedding.
+  if (clock_ < overload_truth_until_ && !rec->shed_enabled) {
+    return Violation{
+        "shed-window-honored",
+        "recommendation without the shed directive served at t=" +
+            obs::StableDouble(clock_) +
+            " inside the overload window ending t=" +
+            obs::StableDouble(overload_truth_until_)};
+  }
+
   // The serving layer sprints when the policy says sprinting pays off
   // (any timeout below the sprint-disabled static one) and the advisor
   // did not flag a lockout override.
   const bool sprints = rec->timeout_seconds <
                            advisor_config_.static_timeout_seconds &&
                        !rec->sprint_locked_out;
+  // no-sprint-on-shed-rung: the last-resort rung plans the conservative
+  // never-sprint policy; a sprinting recommendation from it means the
+  // ladder is lying about its own bottom rung.
+  if (sprints && rec->rung == AdvisorRung::kShedding) {
+    return Violation{"no-sprint-on-shed-rung",
+                     "sprinting recommendation (timeout=" +
+                         obs::StableDouble(rec->timeout_seconds) +
+                         ") served from the shedding rung at t=" +
+                         obs::StableDouble(clock_)};
+  }
   if (sprints && locked_out) {
     return Violation{"no-sprint-while-locked-out",
                      "sprinting recommendation (timeout=" +
@@ -439,6 +540,7 @@ std::string LadderHarness::SaveState() const {
   w.PutBool(served_once_);
   w.PutF64(last_served_predicted_);
   w.PutF64(injector_.forced_lockout_until());
+  w.PutF64(overload_truth_until_);
   persist::Writer advisor_w;
   advisor_->SaveState(advisor_w);
   w.PutString(advisor_w.bytes());
@@ -455,6 +557,8 @@ void LadderHarness::RestoreState(const std::string& bytes) {
   const bool served_once = r.GetBool();
   const double last_predicted = r.GetFiniteF64("mc last served prediction");
   const double lockout_until = r.GetFiniteF64("mc forced lockout deadline");
+  const double overload_truth_until =
+      r.GetFiniteF64("mc overload ground-truth deadline");
   const std::string advisor_bytes = r.GetString();
   const std::string budget_bytes = r.GetString();
   r.ExpectEnd();
@@ -469,6 +573,7 @@ void LadderHarness::RestoreState(const std::string& bytes) {
   model_->broken = broken;
   served_once_ = served_once;
   last_served_predicted_ = last_predicted;
+  overload_truth_until_ = overload_truth_until;
   budget_ = budget;
   injector_ = FaultInjector(nullptr);
   if (lockout_until > 0.0) {
@@ -490,6 +595,7 @@ namespace {
 constexpr const char* kFrontierNames[] = {
     "deepest",        "reach-simulator",      "reach-static",
     "max-transitions", "max-budget-drain",    "lockout-poll",
+    "reach-shedding",
 };
 constexpr size_t kFrontierCount =
     sizeof(kFrontierNames) / sizeof(kFrontierNames[0]);
@@ -532,6 +638,11 @@ struct Search {
     if (advisor.rung() == AdvisorRung::kStatic && !report.reached_static) {
       report.reached_static = true;
       Capture(2);
+    }
+    if (advisor.rung() == AdvisorRung::kShedding &&
+        !report.reached_shedding) {
+      report.reached_shedding = true;
+      Capture(6);
     }
     if (advisor.rung_transition_count() > best_rung_transitions) {
       best_rung_transitions = advisor.rung_transition_count();
@@ -642,7 +753,8 @@ Trace MinimizeCounterexample(const McConfig& config, const Trace& trace,
 
 McReport RunBoundedCheck(const McConfig& config) {
   Search s(config);
-  s.alphabet = DefaultAlphabet();
+  s.alphabet = config.overload_alphabet ? OverloadAlphabet()
+                                        : DefaultAlphabet();
   s.report.alphabet_size = s.alphabet.size();
   const std::string root = s.harness.SaveState();
   s.visited.emplace(s.harness.Fingerprint(), config.horizon);
@@ -666,6 +778,8 @@ std::string FormatReport(const McReport& report) {
   out += "horizon " + std::to_string(report.config.horizon) + "\n";
   out += "seed " + std::to_string(report.config.seed) + "\n";
   out += "injected-bug " + ToString(report.config.bug) + "\n";
+  out += "overload-alphabet " +
+         std::string(report.config.overload_alphabet ? "1" : "0") + "\n";
   out += "alphabet " + std::to_string(report.alphabet_size) + "\n";
   out += "states " + std::to_string(report.states) + "\n";
   out += "transitions " + std::to_string(report.transitions) + "\n";
@@ -676,6 +790,8 @@ std::string FormatReport(const McReport& report) {
          std::string(report.reached_simulator ? "1" : "0") + "\n";
   out += "reached-static " + std::string(report.reached_static ? "1" : "0") +
          "\n";
+  out += "reached-shedding " +
+         std::string(report.reached_shedding ? "1" : "0") + "\n";
   out += "max-rung-transitions " +
          std::to_string(report.max_rung_transitions) + "\n";
   out += "max-budget-consumed " +

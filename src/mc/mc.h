@@ -25,7 +25,14 @@
 //                                   retry-backoff deadline (a poll at
 //                                   exactly the deadline is legal);
 //   no-flap-in-refractory           one poll moves the ladder at most one
-//                                   rung.
+//                                   rung;
+//   shed-window-honored             every recommendation served while the
+//                                   ground-truth overload window is open
+//                                   carries the shed directive (overload
+//                                   alphabet only);
+//   no-sprint-on-shed-rung          the last-resort kShedding rung never
+//                                   serves a sprinting recommendation
+//                                   (overload alphabet only).
 //
 // The search is a serial DFS (byte-identical reports for any
 // MSPRINT_THREADS) with state dedup: every state is fingerprinted via
@@ -68,6 +75,13 @@ enum class ActionKind {
   kBreakerTrip,  // value = cooldown seconds: breaker trips now
   kModelToggle,  // the hybrid model flips between healthy and throwing
   kPoll,         // the serving layer asks Recommend() and acts on it
+  // Overload-robustness actions (DESIGN.md §14); enumerated only when
+  // McConfig::overload_alphabet is set. Appended so the numeric values of
+  // the legacy kinds — and every committed trace — stay valid.
+  kShed,         // value = queries the serving layer turned away since
+                 // the last report (< 0: corrupt report, dropped)
+  kRetryBurst,   // value = retries hammering the telemetry path at the
+                 // same instant (duplicate timestamps, clock unchanged)
 };
 
 struct Action {
@@ -87,6 +101,12 @@ Action ParseAction(const std::string& line);
 // DFS explores actions in exactly this order.
 std::vector<Action> DefaultAlphabet();
 
+// DefaultAlphabet plus the overload actions (shed reports, corrupt shed
+// reports, same-instant retry bursts). Strictly appended, never
+// interleaved: the shared prefix keeps every default-alphabet trace
+// meaningful under either alphabet.
+std::vector<Action> OverloadAlphabet();
+
 // ------------------------------------------------------- injected bugs
 
 // Deliberate defects the checker must catch; used by tests and CI to
@@ -98,6 +118,9 @@ enum class InjectedBug {
                        // solvency check (ConsumeAllowingDebt, ungated)
   kBreakerSignalDrop,  // breaker trips never reach the advisor, so it
                        // keeps recommending sprints into the lockout
+  kShedSignalDrop,     // shed reports never reach the advisor, so it
+                       // keeps serving shed-free recommendations while
+                       // the door is on fire (overload alphabet only)
 };
 
 std::string ToString(InjectedBug bug);
@@ -115,6 +138,10 @@ struct TraceFile {
   InjectedBug bug = InjectedBug::kNone;
   // Violated invariant name, or "none" for frontier traces.
   std::string invariant = "none";
+  // True when the trace was recorded against the overload alphabet (shed
+  // rung enabled); replays must run the harness the same way. Absent from
+  // older trace files, which parse as false.
+  bool overload = false;
 };
 
 std::string FormatTraceFile(const TraceFile& trace);
@@ -128,6 +155,10 @@ struct McConfig {
   uint64_t seed = 21;          // explorer seed inside the advisor
   size_t max_transitions = 4000000;  // exploration cap; hit => truncated
   InjectedBug bug = InjectedBug::kNone;
+  // Enumerate OverloadAlphabet() and enable the advisor's kShedding rung
+  // (plus the shed-window/shed-rung invariants). Off: the legacy
+  // three-rung machine, bit-compatible with every existing trace.
+  bool overload_alphabet = false;
 };
 
 struct Violation {
@@ -180,6 +211,10 @@ class LadderHarness {
   bool served_once_ = false;
   double last_served_predicted_ = 0.0;
   size_t lockout_poll_count_ = 0;
+  // Ground truth for shed-window-honored: the harness records when shed
+  // pressure was reported independently of whether the signal reached the
+  // advisor (the injected kShedSignalDrop defect drops it en route).
+  double overload_truth_until_ = 0.0;
 };
 
 // -------------------------------------------------------------- checker
@@ -195,6 +230,7 @@ struct McReport {
   // Coverage of the interesting corners, for the frontier summary.
   bool reached_simulator = false;
   bool reached_static = false;
+  bool reached_shedding = false;  // overload alphabet only
   size_t max_rung_transitions = 0;
   double max_budget_consumed = 0.0;
   size_t lockout_polls = 0;

@@ -77,6 +77,12 @@ std::string ToString(EventKind kind) {
       return "checkpoint-commit";
     case EventKind::kCheckpointRestore:
       return "checkpoint-restore";
+    case EventKind::kQueryShed:
+      return "query-shed";
+    case EventKind::kQueryRetry:
+      return "query-retry";
+    case EventKind::kQueryAbandon:
+      return "query-abandon";
   }
   return "unknown";
 }

@@ -60,6 +60,9 @@ enum class EventKind : uint8_t {
   kExploreDone,
   kCheckpointCommit,
   kCheckpointRestore,
+  kQueryShed,
+  kQueryRetry,
+  kQueryAbandon,
 };
 
 std::string ToString(Severity severity);

@@ -32,6 +32,8 @@ std::string ToString(SpanComponent component) {
       return "toggle-overhead";
     case SpanComponent::kSprintDelta:
       return "sprint-delta";
+    case SpanComponent::kRetryBackoff:
+      return "retry-backoff";
   }
   return "unknown";
 }
@@ -54,7 +56,11 @@ QuerySpan BuildQuerySpan(const SpanInputs& in) {
   QuerySpan span;
   span.id = in.id;
   span.klass = in.klass;
-  span.arrival = TicksFromSeconds(in.arrival);
+  // Retried requests anchor the span at the FIRST attempt's arrival: the
+  // client's response time includes every failed attempt and backoff.
+  const SpanTicks t_attempt_arrival = TicksFromSeconds(in.arrival);
+  span.arrival = in.first_arrival >= 0.0 ? TicksFromSeconds(in.first_arrival)
+                                         : t_attempt_arrival;
   span.start = TicksFromSeconds(in.start);
   span.depart = TicksFromSeconds(in.depart);
   span.sprint_begin =
@@ -89,7 +95,10 @@ QuerySpan BuildQuerySpan(const SpanInputs& in) {
       in.toggle_seconds == 0.0 ? t_fault : TicksFromSeconds(m_toggle);
 
   auto& c = span.components;
-  c[static_cast<size_t>(SpanComponent::kQueueWait)] = span.start - span.arrival;
+  c[static_cast<size_t>(SpanComponent::kRetryBackoff)] =
+      t_attempt_arrival - span.arrival;
+  c[static_cast<size_t>(SpanComponent::kQueueWait)] =
+      span.start - t_attempt_arrival;
   c[static_cast<size_t>(SpanComponent::kService)] = t_service - span.start;
   c[static_cast<size_t>(SpanComponent::kInterference)] =
       t_interference - t_service;

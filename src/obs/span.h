@@ -74,14 +74,16 @@ std::string FormatTicksSeconds(SpanTicks ticks);
 // The signed component taxonomy. Append-only: exported names feed the CI
 // obs-diff regression gate and committed baselines.
 enum class SpanComponent : uint8_t {
-  kQueueWait = 0,       // arrival -> dispatch
+  kQueueWait = 0,       // attempt arrival -> dispatch
   kService = 1,         // sustained-rate service work (phase children)
   kInterference = 2,    // load-dependent dispatch overhead
   kFaultDelay = 3,      // fault-injected service outlier inflation
   kToggleOverhead = 4,  // sprint toggle / abort latency paid
   kSprintDelta = 5,     // signed: actual minus unsprinted counterfactual
+  kRetryBackoff = 6,    // first arrival -> this attempt's re-arrival
+                        // (failed earlier attempts + client backoff)
 };
-constexpr size_t kNumSpanComponents = 6;
+constexpr size_t kNumSpanComponents = 7;
 
 std::string ToString(SpanComponent component);
 
@@ -142,6 +144,10 @@ struct SpanInputs {
   double fault_multiplier = 1.0;  // >= 1; injected service outlier
   double toggle_seconds = 0.0;    // total toggle/abort latency paid
   double sprint_begin = -1.0;     // -1: never sprinted
+  // First attempt's arrival for retried requests (-1: this IS the first
+  // attempt). When set, the span's arrival milestone is the first
+  // arrival and kRetryBackoff covers first arrival -> `arrival`.
+  double first_arrival = -1.0;
   bool sprinted = false;
   bool timed_out = false;
   bool sprint_aborted = false;

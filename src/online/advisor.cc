@@ -10,14 +10,33 @@ namespace msprint {
 
 namespace {
 
-AdvisorRung Demoted(AdvisorRung rung) {
-  return rung == AdvisorRung::kHybrid ? AdvisorRung::kSimulator
-                                      : AdvisorRung::kStatic;
+// One rung down/up the ladder. The kShedding rung below kStatic exists
+// only when the config opts in (`shed_rung`).
+AdvisorRung Demoted(AdvisorRung rung, bool shed_rung) {
+  switch (rung) {
+    case AdvisorRung::kHybrid:
+      return AdvisorRung::kSimulator;
+    case AdvisorRung::kSimulator:
+      return AdvisorRung::kStatic;
+    case AdvisorRung::kStatic:
+      return shed_rung ? AdvisorRung::kShedding : AdvisorRung::kStatic;
+    case AdvisorRung::kShedding:
+      return AdvisorRung::kShedding;
+  }
+  std::abort();  // unreachable: the switch above covers every rung
 }
 
 AdvisorRung Promoted(AdvisorRung rung) {
-  return rung == AdvisorRung::kStatic ? AdvisorRung::kSimulator
-                                      : AdvisorRung::kHybrid;
+  switch (rung) {
+    case AdvisorRung::kHybrid:
+    case AdvisorRung::kSimulator:
+      return AdvisorRung::kHybrid;
+    case AdvisorRung::kStatic:
+      return AdvisorRung::kSimulator;
+    case AdvisorRung::kShedding:
+      return AdvisorRung::kStatic;
+  }
+  std::abort();  // unreachable: the switch above covers every rung
 }
 
 // Always-on ladder-invariant self-check: the production paths assert the
@@ -44,6 +63,8 @@ std::string ToString(AdvisorRung rung) {
       return "simulator";
     case AdvisorRung::kStatic:
       return "static";
+    case AdvisorRung::kShedding:
+      return "shedding";
   }
   std::abort();  // unreachable: the switch above covers every rung
 }
@@ -82,6 +103,18 @@ void OnlineAdvisor::OnObservedResponseTime(double now,
     health_error_sum_ -= health_errors_.front();
     health_errors_.pop_front();
   }
+}
+
+void OnlineAdvisor::OnShed(double now, size_t count) {
+  if (!config_.enable_shed_rung || count == 0 || !std::isfinite(now)) {
+    return;  // overlay is opt-in; corrupt reports must not open windows
+  }
+  overload_until_ =
+      std::max(overload_until_, now + config_.overload_shed_window_seconds);
+  obs::Count("online/sheds_reported", count);
+  obs::Emit(now, obs::EventKind::kQueryShed, obs::Subsystem::kOnline,
+            obs::Severity::kWarn, count,
+            config_.overload_shed_window_seconds);
 }
 
 void OnlineAdvisor::OnBreakerTrip(double now, double cooldown_seconds) {
@@ -135,10 +168,12 @@ void OnlineAdvisor::UpdateRung(double now) {
     return;
   }
   const double error = ModelHealthError();
+  const AdvisorRung bottom = config_.enable_shed_rung
+                                 ? AdvisorRung::kShedding
+                                 : AdvisorRung::kStatic;
   AdvisorRung next = rung_;
-  if (error > config_.degrade_error_threshold &&
-      rung_ != AdvisorRung::kStatic) {
-    next = Demoted(rung_);
+  if (error > config_.degrade_error_threshold && rung_ != bottom) {
+    next = Demoted(rung_, config_.enable_shed_rung);
   } else if (error < config_.recover_error_threshold &&
              rung_ != AdvisorRung::kHybrid) {
     // Probational promotion: the richer model gets another chance; if it
@@ -187,9 +222,11 @@ void OnlineAdvisor::Replan(double now, double utilization) {
   recommendation.rung = rung_;
   recommendation.at_utilization = input.utilization;
 
-  if (rung_ == AdvisorRung::kStatic) {
-    // Conservative floor: sprinting disabled outright, so the policy can
-    // never overdraw the sprint budget no matter how wrong the models are.
+  if (rung_ >= AdvisorRung::kStatic) {
+    // Conservative floor (kStatic and kShedding): sprinting disabled
+    // outright, so the policy can never overdraw the sprint budget no
+    // matter how wrong the models are. On kShedding the serve-time
+    // overlay additionally turns admission control on.
     recommendation.timeout_seconds = config_.static_timeout_seconds;
     input.timeout_seconds = config_.static_timeout_seconds;
     try {
@@ -247,7 +284,7 @@ void OnlineAdvisor::Replan(double now, double utilization) {
   }
   // Every attempt failed: demote one rung, back off, and keep the standing
   // recommendation until the next Recommend() after the backoff.
-  rung_ = Demoted(rung_);
+  rung_ = Demoted(rung_, config_.enable_shed_rung);
   ++rung_transition_count_;
   obs::Count("online/rung_transitions");
   obs::Emit(now, obs::EventKind::kReplanFailure, obs::Subsystem::kOnline,
@@ -273,10 +310,24 @@ std::optional<Recommendation> OnlineAdvisor::Serve(double now) const {
     served.sprint_locked_out = true;
     obs::Count("online/lockout_overrides");
   }
+  if (served.rung == AdvisorRung::kShedding ||
+      (config_.enable_shed_rung && now < overload_until_)) {
+    // Shed overlay: on the kShedding rung the plan itself is the
+    // sprint-disabled static policy (shed INSTEAD of sprint); inside an
+    // overload window the standing plan is kept, so the serving layer may
+    // shed AND sprint at once. Computed at serve time, never stored.
+    served.shed_enabled = true;
+    obs::Count("online/shed_serves");
+  }
   CheckLadderInvariant(
       !(now < breaker_lockout_until_ &&
         served.timeout_seconds < config_.static_timeout_seconds),
       "advisor/invariant_breach/sprint_while_locked_out");
+  // The shed rung may never sprint: its plan is always the static policy.
+  CheckLadderInvariant(
+      !(served.rung == AdvisorRung::kShedding &&
+        served.timeout_seconds < config_.static_timeout_seconds),
+      "advisor/invariant_breach/sprint_on_shed_rung");
   // Timeout 0 is legal (the explorer's range starts at 0: sprint
   // immediately); negative or non-finite policies are breaches.
   CheckLadderInvariant(
@@ -349,12 +400,13 @@ void OnlineAdvisor::SaveState(persist::Writer& w) const {
   w.PutF64(backoff_until_);
   w.PutU64(replan_failure_count_);
   w.PutF64(breaker_lockout_until_);
+  w.PutF64(overload_until_);
 }
 
 namespace {
 
 AdvisorRung RungFromByte(uint8_t byte) {
-  if (byte > static_cast<uint8_t>(AdvisorRung::kStatic)) {
+  if (byte > static_cast<uint8_t>(AdvisorRung::kShedding)) {
     throw persist::PersistError(persist::ErrorCode::kFormat,
                                 "advisor rung byte out of range");
   }
@@ -409,6 +461,7 @@ void OnlineAdvisor::RestoreState(persist::Reader& r) {
   const uint64_t replan_failures = r.GetU64();
   const double breaker_lockout_until =
       r.GetFiniteF64("breaker lockout deadline");
+  const double overload_until = r.GetFiniteF64("overload window deadline");
   // The snapshot is always the whole payload; trailing bytes mean a
   // writer/reader mismatch. Checked before the commit point so even that
   // leaves the advisor untouched.
@@ -428,6 +481,7 @@ void OnlineAdvisor::RestoreState(persist::Reader& r) {
   backoff_until_ = backoff_until;
   replan_failure_count_ = static_cast<size_t>(replan_failures);
   breaker_lockout_until_ = breaker_lockout_until;
+  overload_until_ = overload_until;
 }
 
 }  // namespace msprint

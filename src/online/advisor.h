@@ -54,8 +54,17 @@
 
 namespace msprint {
 
-// Degradation-ladder rungs, best first.
-enum class AdvisorRung { kHybrid = 0, kSimulator = 1, kStatic = 2 };
+// Degradation-ladder rungs, best first. kShedding exists only when
+// AdvisorConfig::enable_shed_rung is set: one rung below kStatic, it keeps
+// the sprint-disabled static policy AND tells the serving layer to turn on
+// admission control — the last resort when even the conservative policy
+// cannot keep the queue from collapsing (DESIGN.md §14).
+enum class AdvisorRung {
+  kHybrid = 0,
+  kSimulator = 1,
+  kStatic = 2,
+  kShedding = 3,
+};
 
 std::string ToString(AdvisorRung rung);
 
@@ -104,6 +113,16 @@ struct AdvisorConfig {
   // Timeout published on the static rung: effectively "never sprint".
   double static_timeout_seconds = 1e15;
 
+  // --- overload / shed awareness (DESIGN.md §14) ---
+  // Opt-in: adds the kShedding rung below kStatic and the OnShed overload
+  // overlay. Off by default, which keeps the three-rung ladder behaviour
+  // (transitions, recommendations, invariants) exactly as before.
+  bool enable_shed_rung = false;
+  // After OnShed reports shed pressure, every recommendation served within
+  // this window carries shed_enabled — the serving layer keeps admission
+  // control on (possibly alongside sprinting) while the door is hot.
+  double overload_shed_window_seconds = 120.0;
+
   // Simulation effort for the kSimulator/kStatic fallback predictions;
   // smaller than offline defaults because re-plans happen on the live path.
   PredictionSimConfig fallback_sim{4000, 400, 1, 97};
@@ -120,6 +139,12 @@ struct Recommendation {
   // the sprint-disabled one for this serve. Set at serve time, never
   // stored: the standing plan resumes as soon as the lockout lapses.
   bool sprint_locked_out = false;
+  // True when the serving layer should run admission control for this
+  // serve: the ladder sits on kShedding (shed instead of sprint), or an
+  // OnShed overload window is open (shed alongside the standing plan —
+  // possibly both shed AND sprint). Like sprint_locked_out, computed at
+  // serve time and never stored.
+  bool shed_enabled = false;
 };
 
 class OnlineAdvisor {
@@ -136,6 +161,14 @@ class OnlineAdvisor {
   // Feeds the model-health watchdog one end-to-end observed response time
   // to compare against the standing recommendation's prediction.
   void OnObservedResponseTime(double now, double response_seconds);
+
+  // Reports shed pressure from the serving layer: `count` queries were
+  // turned away at the door since the last report. With enable_shed_rung
+  // set this opens (or extends) the overload window — recommendations
+  // served inside it carry shed_enabled — and feeds the watchdog's view of
+  // overload. A no-op when the shed rung is disabled or inputs are
+  // corrupt; never throws.
+  void OnShed(double now, size_t count);
 
   // Reports a circuit-breaker trip: sprinting is locked out until
   // `now + cooldown_seconds`. While the lockout is active Recommend()
@@ -173,6 +206,8 @@ class OnlineAdvisor {
   double backoff_until() const { return backoff_until_; }
   // End of the active breaker lockout window (0 when never tripped).
   double breaker_lockout_until() const { return breaker_lockout_until_; }
+  // End of the active overload (shed) window (0 when never reported).
+  double overload_until() const { return overload_until_; }
   // Fresh watchdog samples accumulated since the last ladder transition.
   size_t health_observation_count() const { return health_errors_.size(); }
 
@@ -217,6 +252,7 @@ class OnlineAdvisor {
   double backoff_until_ = 0.0;
   size_t replan_failure_count_ = 0;
   double breaker_lockout_until_ = 0.0;
+  double overload_until_ = 0.0;
 };
 
 }  // namespace msprint

@@ -19,6 +19,8 @@ constexpr char kSectionAdvisorConfig[] = "advisor-config";
 constexpr char kSectionAdvisorState[] = "advisor-state";
 constexpr char kSectionBudget[] = "budget";
 constexpr char kSectionDrive[] = "drive";
+constexpr char kSectionAdmission[] = "admission";
+constexpr char kSectionRetry[] = "retry";
 
 DistributionKind DistributionKindFromByte(uint8_t byte) {
   if (byte > static_cast<uint8_t>(DistributionKind::kEmpirical)) {
@@ -99,6 +101,8 @@ void SerializeAdvisorConfig(const AdvisorConfig& config, Writer& w) {
   w.PutF64(config.timeout_hysteresis_fraction);
   w.PutF64(config.static_timeout_seconds);
   SerializePredictionSimConfig(config.fallback_sim, w);
+  w.PutBool(config.enable_shed_rung);
+  w.PutF64(config.overload_shed_window_seconds);
 }
 
 AdvisorConfig DeserializeAdvisorConfig(Reader& r) {
@@ -121,7 +125,14 @@ AdvisorConfig DeserializeAdvisorConfig(Reader& r) {
       r.GetFiniteF64("advisor hysteresis fraction");
   config.static_timeout_seconds = r.GetFiniteF64("advisor static timeout");
   config.fallback_sim = DeserializePredictionSimConfig(r);
+  config.enable_shed_rung = r.GetBool();
+  config.overload_shed_window_seconds =
+      r.GetFiniteF64("advisor overload shed window");
   config.pool = nullptr;  // never persisted; callers re-attach
+  if (config.overload_shed_window_seconds < 0.0) {
+    throw PersistError(ErrorCode::kFormat,
+                       "overload shed window must be non-negative");
+  }
   if (config.rate_window_seconds <= 0.0 ||
       config.service_window_count == 0 || config.min_signal_events == 0 ||
       config.health_window_count == 0 ||
@@ -137,7 +148,9 @@ void SaveCheckpointToFile(const std::string& path,
                           const AdvisorConfig& config,
                           const OnlineAdvisor& advisor,
                           const SprintBudget& budget,
-                          const DriveState& drive) {
+                          const DriveState& drive,
+                          const robust::AdmissionController* admission,
+                          const robust::RetryModel* retry) {
   RecordWriter record;
 
   std::ostringstream profile_text;
@@ -165,6 +178,17 @@ void SaveCheckpointToFile(const std::string& path,
   drive_w.PutU64(drive.step);
   drive_w.PutF64(drive.clock_seconds);
   record.AddSection(kSectionDrive, drive_w.Take());
+
+  if (admission != nullptr) {
+    Writer admission_w;
+    admission->Serialize(admission_w);
+    record.AddSection(kSectionAdmission, admission_w.Take());
+  }
+  if (retry != nullptr) {
+    Writer retry_w;
+    retry->Serialize(retry_w);
+    record.AddSection(kSectionRetry, retry_w.Take());
+  }
 
   WriteRecordToFile(path, record);
   obs::Count("persist/checkpoints_saved");
@@ -205,9 +229,25 @@ LoadedCheckpoint ParseCheckpoint(std::string bytes) {
     // its integrity is already covered by the section checksum here.
     std::string advisor_state = record.Section(kSectionAdvisorState);
 
+    // Overload-robustness sections are optional: checkpoints written
+    // before (or without) the robust layer simply lack them.
+    std::optional<robust::AdmissionController> admission;
+    if (record.Has(kSectionAdmission)) {
+      Reader admission_r(record.Section(kSectionAdmission));
+      admission = robust::AdmissionController::Deserialize(admission_r);
+      admission_r.ExpectEnd();
+    }
+    std::optional<robust::RetryModel> retry;
+    if (record.Has(kSectionRetry)) {
+      Reader retry_r(record.Section(kSectionRetry));
+      retry = robust::RetryModel::Deserialize(retry_r);
+      retry_r.ExpectEnd();
+    }
+
     return LoadedCheckpoint{std::move(profile),  std::move(model),
                             std::move(config),   std::move(budget),
-                            drive,               std::move(advisor_state)};
+                            drive,               std::move(advisor_state),
+                            std::move(admission), std::move(retry)};
   } catch (const PersistError&) {
     throw;
   } catch (const std::exception& error) {

@@ -10,6 +10,8 @@
 //   advisor-state  — OnlineAdvisor::SaveState payload
 //   budget         — SprintBudget accrual state
 //   drive          — {seed, step, clock} cursor of the deterministic drive
+//   admission      — (optional) robust::AdmissionController state
+//   retry          — (optional) robust::RetryModel state
 //
 // Everything round-trips bit-exactly, so under the repo's determinism
 // invariant a restored advisor emits the same recommendation stream as one
@@ -19,10 +21,13 @@
 #define MSPRINT_SRC_PERSIST_CHECKPOINT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
+#include "src/robust/admission.h"
+#include "src/robust/retry.h"
 #include "src/sprint/budget.h"
 
 namespace msprint {
@@ -45,13 +50,18 @@ AdvisorConfig DeserializeAdvisorConfig(Reader& r);
 
 // Saves a composed checkpoint via the atomic tmp+flush+rename protocol: a
 // crash at any write point leaves the previous checkpoint loadable.
+// `admission`/`retry` are optional overload-robustness companions of the
+// drive loop (DESIGN.md §14); pass nullptr (the default) to omit their
+// sections — older checkpoints simply never have them.
 void SaveCheckpointToFile(const std::string& path,
                           const WorkloadProfile& profile,
                           const HybridModel& model,
                           const AdvisorConfig& config,
                           const OnlineAdvisor& advisor,
                           const SprintBudget& budget,
-                          const DriveState& drive);
+                          const DriveState& drive,
+                          const robust::AdmissionController* admission = nullptr,
+                          const robust::RetryModel* retry = nullptr);
 
 // A parsed checkpoint. `advisor_state` is the raw (already checksummed)
 // SaveState payload: construct an OnlineAdvisor against `model`/`profile`/
@@ -63,6 +73,9 @@ struct LoadedCheckpoint {
   SprintBudget budget;
   DriveState drive;
   std::string advisor_state;
+  // Present only when the checkpoint carried the matching section.
+  std::optional<robust::AdmissionController> admission;
+  std::optional<robust::RetryModel> retry;
 };
 
 // Loads and fully validates a checkpoint file. Every failure mode —

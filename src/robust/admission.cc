@@ -1,0 +1,191 @@
+#include "src/robust/admission.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msprint {
+namespace robust {
+
+std::string ToString(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone:
+      return "none";
+    case AdmissionPolicy::kQueueCap:
+      return "queue-cap";
+    case AdmissionPolicy::kDeadlineAware:
+      return "deadline";
+    case AdmissionPolicy::kCoDel:
+      return "codel";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         int slots)
+    : config_(config), slots_(slots) {
+  if (slots < 1) {
+    throw std::invalid_argument("admission controller needs >= 1 slot");
+  }
+  if (config.service_ewma_alpha <= 0.0 || config.service_ewma_alpha > 1.0 ||
+      config.deadline_slack <= 0.0 || config.codel_target_seconds < 0.0 ||
+      config.codel_interval_seconds <= 0.0) {
+    throw std::invalid_argument("invalid AdmissionConfig");
+  }
+}
+
+double AdmissionController::PredictedWaitSeconds(size_t queue_len) const {
+  if (service_ewma_ <= 0.0) {
+    return 0.0;  // no signal yet: optimistic until samples accumulate
+  }
+  return static_cast<double>(queue_len) * service_ewma_ /
+         static_cast<double>(slots_);
+}
+
+bool AdmissionController::Admit(double now, size_t queue_len,
+                                double timeout_seconds) {
+  bool admit = true;
+  switch (config_.policy) {
+    case AdmissionPolicy::kNone:
+      break;
+    case AdmissionPolicy::kQueueCap:
+      admit = queue_len < config_.queue_cap;
+      break;
+    case AdmissionPolicy::kDeadlineAware:
+      // A query whose predicted wait already exceeds its (slack-scaled)
+      // timeout will sprint or time out before it is even dispatched;
+      // admitting it is guaranteed badput.
+      admit = PredictedWaitSeconds(queue_len) <=
+              config_.deadline_slack * timeout_seconds;
+      break;
+    case AdmissionPolicy::kCoDel:
+      if (dropping_ && now >= drop_next_) {
+        admit = false;
+        ++drop_count_;
+        // Control law: drop spacing shrinks as interval/sqrt(count), so
+        // persistent overload sheds progressively harder. sqrt is
+        // IEEE-exact — deterministic across platforms.
+        drop_next_ =
+            now + config_.codel_interval_seconds /
+                      std::sqrt(static_cast<double>(drop_count_));
+      }
+      break;
+  }
+  if (admit) {
+    ++admitted_count_;
+  } else {
+    ++shed_count_;
+  }
+  return admit;
+}
+
+void AdmissionController::OnDispatch(double now, double sojourn_seconds) {
+  if (config_.policy != AdmissionPolicy::kCoDel) {
+    return;
+  }
+  if (sojourn_seconds <= config_.codel_target_seconds) {
+    // Sojourn dipped below target: leave drop mode, reset the window.
+    above_target_since_ = -1.0;
+    dropping_ = false;
+    drop_count_ = 0;
+    return;
+  }
+  if (above_target_since_ < 0.0) {
+    above_target_since_ = now;
+    return;
+  }
+  if (!dropping_ &&
+      now - above_target_since_ >= config_.codel_interval_seconds) {
+    dropping_ = true;
+    drop_count_ = 0;
+    drop_next_ = now;  // first shed fires on the next arrival
+  }
+}
+
+void AdmissionController::OnServiceSample(double service_seconds) {
+  if (!std::isfinite(service_seconds) || service_seconds <= 0.0) {
+    return;  // corrupt telemetry must not poison the estimate
+  }
+  service_ewma_ = service_ewma_ <= 0.0
+                      ? service_seconds
+                      : service_ewma_ + config_.service_ewma_alpha *
+                                            (service_seconds - service_ewma_);
+}
+
+// ----------------------------------------------------------- persistence
+
+namespace {
+
+AdmissionPolicy PolicyFromByte(uint8_t byte) {
+  if (byte > static_cast<uint8_t>(AdmissionPolicy::kCoDel)) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "admission policy byte out of range");
+  }
+  return static_cast<AdmissionPolicy>(byte);
+}
+
+}  // namespace
+
+void SerializeAdmissionConfig(const AdmissionConfig& config,
+                              persist::Writer& w) {
+  w.PutU8(static_cast<uint8_t>(config.policy));
+  w.PutU64(config.queue_cap);
+  w.PutF64(config.deadline_slack);
+  w.PutF64(config.service_ewma_alpha);
+  w.PutF64(config.codel_target_seconds);
+  w.PutF64(config.codel_interval_seconds);
+}
+
+AdmissionConfig DeserializeAdmissionConfig(persist::Reader& r) {
+  AdmissionConfig config;
+  config.policy = PolicyFromByte(r.GetU8());
+  config.queue_cap = static_cast<size_t>(r.GetU64());
+  config.deadline_slack = r.GetFiniteF64("admission deadline slack");
+  config.service_ewma_alpha = r.GetFiniteF64("admission ewma alpha");
+  config.codel_target_seconds = r.GetFiniteF64("admission codel target");
+  config.codel_interval_seconds = r.GetFiniteF64("admission codel interval");
+  if (config.service_ewma_alpha <= 0.0 || config.service_ewma_alpha > 1.0 ||
+      config.deadline_slack <= 0.0 || config.codel_target_seconds < 0.0 ||
+      config.codel_interval_seconds <= 0.0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "implausible admission settings");
+  }
+  return config;
+}
+
+void AdmissionController::Serialize(persist::Writer& w) const {
+  SerializeAdmissionConfig(config_, w);
+  w.PutU64(static_cast<uint64_t>(slots_));
+  w.PutF64(service_ewma_);
+  w.PutU64(admitted_count_);
+  w.PutU64(shed_count_);
+  w.PutBool(dropping_);
+  w.PutF64(above_target_since_);
+  w.PutF64(drop_next_);
+  w.PutU64(drop_count_);
+}
+
+AdmissionController AdmissionController::Deserialize(persist::Reader& r) {
+  const AdmissionConfig config = DeserializeAdmissionConfig(r);
+  const uint64_t slots = r.GetU64();
+  if (slots < 1 || slots > (1ULL << 20)) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "implausible admission slot count");
+  }
+  AdmissionController controller(config, static_cast<int>(slots));
+  controller.service_ewma_ = r.GetFiniteF64("admission service ewma");
+  controller.admitted_count_ = static_cast<size_t>(r.GetU64());
+  controller.shed_count_ = static_cast<size_t>(r.GetU64());
+  controller.dropping_ = r.GetBool();
+  controller.above_target_since_ =
+      r.GetFiniteF64("admission codel window start");
+  controller.drop_next_ = r.GetFiniteF64("admission codel drop deadline");
+  controller.drop_count_ = r.GetU64();
+  if (controller.service_ewma_ < 0.0) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "negative admission service estimate");
+  }
+  return controller;
+}
+
+}  // namespace robust
+}  // namespace msprint

@@ -1,0 +1,131 @@
+// Overload admission control for the serving path (DESIGN.md §14).
+//
+// The paper sprints *into* load spikes, but an unprotected FIFO server
+// still collapses when offered load exceeds capacity for long enough:
+// queues grow without bound, every admitted query times out, and client
+// retries turn a transient spike into a sustained metastable storm. The
+// AdmissionController sits on the arrival path of the testbed and the
+// queue simulator and decides, per arriving query, whether to enqueue or
+// shed it. Three pluggable policies:
+//
+//   kQueueCap       — shed when the instantaneous queue length is at the
+//                     configured cap (the classic bounded buffer);
+//   kDeadlineAware  — shed when the predicted queueing wait
+//                     (queue_len * EWMA service estimate / slots) already
+//                     exceeds the query's timeout scaled by a slack
+//                     factor: the query would time out before dispatch,
+//                     so serving it is pure badput;
+//   kCoDel          — a CoDel-style sojourn controller: when the observed
+//                     dispatch sojourn stays above `codel_target_seconds`
+//                     for a full `codel_interval_seconds`, the controller
+//                     enters drop mode and sheds arrivals on the
+//                     interval/sqrt(drop_count) control-law schedule
+//                     until the sojourn dips below target.
+//
+// Determinism: every decision is a pure function of the controller state
+// and the (simulated-time) inputs — no RNG, no wall clock — and sqrt is
+// IEEE-exact, so runs replay byte-identically for any MSPRINT_THREADS.
+// The controller state round-trips bit-exactly through
+// Serialize/Deserialize for checkpointing (fail-closed on malformed
+// bytes, like every persisted artifact).
+
+#ifndef MSPRINT_SRC_ROBUST_ADMISSION_H_
+#define MSPRINT_SRC_ROBUST_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/persist/persist.h"
+
+namespace msprint {
+namespace robust {
+
+enum class AdmissionPolicy : uint8_t {
+  kNone = 0,          // admit everything (the historical behaviour)
+  kQueueCap = 1,
+  kDeadlineAware = 2,
+  kCoDel = 3,
+};
+
+std::string ToString(AdmissionPolicy policy);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kNone;
+
+  // kQueueCap: shed arrivals once this many queries are waiting.
+  size_t queue_cap = 64;
+
+  // kDeadlineAware: shed when predicted wait > slack * timeout. Slack > 1
+  // sheds later (optimistic), < 1 sheds earlier (conservative).
+  double deadline_slack = 1.0;
+
+  // EWMA smoothing for the service-time estimate behind the wait
+  // prediction; seeded by the first observed sample.
+  double service_ewma_alpha = 0.1;
+
+  // kCoDel knobs (the classic defaults scaled to simulated seconds).
+  double codel_target_seconds = 5.0;
+  double codel_interval_seconds = 100.0;
+
+  bool Enabled() const { return policy != AdmissionPolicy::kNone; }
+};
+
+// Serial-path controller: one instance per run (or per drive loop), fed
+// only from deterministic simulated-time code.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config, int slots = 1);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  // Decides one arrival. `queue_len` is the number of queries waiting
+  // (excluding the arrival itself); `timeout_seconds` is the policy
+  // timeout the query would be served under. Returns true to admit.
+  bool Admit(double now, size_t queue_len, double timeout_seconds);
+
+  // Feeds the sojourn (arrival -> dispatch wait) of a query entering
+  // service; drives the CoDel control law.
+  void OnDispatch(double now, double sojourn_seconds);
+
+  // Feeds one observed service time (any admitted completion); drives the
+  // EWMA behind PredictedWaitSeconds.
+  void OnServiceSample(double service_seconds);
+
+  // Predicted queueing wait for a query arriving behind `queue_len`
+  // waiters: queue_len * EWMA service / slots (0 until a sample arrives).
+  double PredictedWaitSeconds(size_t queue_len) const;
+
+  double ServiceEstimateSeconds() const { return service_ewma_; }
+
+  size_t admitted_count() const { return admitted_count_; }
+  size_t shed_count() const { return shed_count_; }
+
+  // Bit-exact snapshot of config + mutable state. Deserialize validates
+  // every field and throws persist::PersistError on malformed bytes.
+  void Serialize(persist::Writer& w) const;
+  static AdmissionController Deserialize(persist::Reader& r);
+
+ private:
+  AdmissionConfig config_;
+  int slots_ = 1;
+
+  double service_ewma_ = 0.0;  // 0: no samples yet
+  size_t admitted_count_ = 0;
+  size_t shed_count_ = 0;
+
+  // CoDel state.
+  bool dropping_ = false;
+  double above_target_since_ = -1.0;  // -1: sojourn currently below target
+  double drop_next_ = 0.0;            // next scheduled drop while dropping
+  uint64_t drop_count_ = 0;           // drops in the current drop run
+};
+
+void SerializeAdmissionConfig(const AdmissionConfig& config,
+                              persist::Writer& w);
+AdmissionConfig DeserializeAdmissionConfig(persist::Reader& r);
+
+}  // namespace robust
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ROBUST_ADMISSION_H_

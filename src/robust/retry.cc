@@ -1,0 +1,145 @@
+#include "src/robust/retry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/rng.h"
+
+namespace msprint {
+namespace robust {
+
+RetryModel::RetryModel(const RetryConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config.max_attempts < 1 || config.backoff_base_seconds < 0.0 ||
+      config.backoff_multiplier < 1.0 ||
+      config.backoff_jitter_fraction < 0.0 || config.budget_tokens < 0.0 ||
+      config.retry_token_cost < 0.0 || config.success_refund_tokens < 0.0 ||
+      config.throttle_shed_threshold < 0.0 || config.throttle_factor < 1.0 ||
+      config.abandon_wait_seconds < 0.0) {
+    throw std::invalid_argument("invalid RetryConfig");
+  }
+  tokens_.assign(config.clients, config.budget_tokens);
+}
+
+uint64_t RetryModel::ClientOf(uint64_t request_id) const {
+  return config_.clients == 0 ? 0 : request_id % config_.clients;
+}
+
+double RetryModel::ClientTokens(uint64_t client) const {
+  return client < tokens_.size() ? tokens_[client] : 0.0;
+}
+
+double RetryModel::NextRetryDelay(uint64_t request_id, size_t attempt,
+                                  double shed_fraction) {
+  if (!config_.enabled || attempt >= config_.max_attempts) {
+    ++retries_exhausted_;
+    return -1.0;
+  }
+  if (!tokens_.empty()) {
+    double& bucket = tokens_[ClientOf(request_id)];
+    if (bucket < config_.retry_token_cost) {
+      ++retries_exhausted_;
+      return -1.0;
+    }
+    bucket -= config_.retry_token_cost;
+  }
+  // Jitter stream: pure function of (seed, request, attempt), so the delay
+  // never depends on how many other requests retried before this one.
+  Rng rng(DeriveSeed(DeriveSeed(seed_, request_id), attempt));
+  double delay = config_.backoff_base_seconds *
+                 std::pow(config_.backoff_multiplier,
+                          static_cast<double>(attempt - 1)) *
+                 (1.0 + config_.backoff_jitter_fraction * rng.NextDouble());
+  if (shed_fraction > config_.throttle_shed_threshold) {
+    delay *= config_.throttle_factor;
+    ++retries_throttled_;
+  }
+  ++retries_granted_;
+  return delay;
+}
+
+void RetryModel::OnSuccess(uint64_t request_id) {
+  if (tokens_.empty()) {
+    return;
+  }
+  double& bucket = tokens_[ClientOf(request_id)];
+  bucket = std::min(config_.budget_tokens,
+                    bucket + config_.success_refund_tokens);
+}
+
+// ----------------------------------------------------------- persistence
+
+void SerializeRetryConfig(const RetryConfig& config, persist::Writer& w) {
+  w.PutBool(config.enabled);
+  w.PutU64(config.max_attempts);
+  w.PutF64(config.backoff_base_seconds);
+  w.PutF64(config.backoff_multiplier);
+  w.PutF64(config.backoff_jitter_fraction);
+  w.PutU64(config.clients);
+  w.PutF64(config.budget_tokens);
+  w.PutF64(config.retry_token_cost);
+  w.PutF64(config.success_refund_tokens);
+  w.PutF64(config.throttle_shed_threshold);
+  w.PutF64(config.throttle_factor);
+  w.PutF64(config.abandon_wait_seconds);
+}
+
+RetryConfig DeserializeRetryConfig(persist::Reader& r) {
+  RetryConfig config;
+  config.enabled = r.GetBool();
+  config.max_attempts = static_cast<size_t>(r.GetU64());
+  config.backoff_base_seconds = r.GetFiniteF64("retry backoff base");
+  config.backoff_multiplier = r.GetFiniteF64("retry backoff multiplier");
+  config.backoff_jitter_fraction = r.GetFiniteF64("retry jitter fraction");
+  config.clients = static_cast<size_t>(r.GetU64());
+  config.budget_tokens = r.GetFiniteF64("retry budget tokens");
+  config.retry_token_cost = r.GetFiniteF64("retry token cost");
+  config.success_refund_tokens = r.GetFiniteF64("retry success refund");
+  config.throttle_shed_threshold = r.GetFiniteF64("retry throttle threshold");
+  config.throttle_factor = r.GetFiniteF64("retry throttle factor");
+  config.abandon_wait_seconds = r.GetFiniteF64("retry abandon wait");
+  if (config.max_attempts < 1 || config.backoff_base_seconds < 0.0 ||
+      config.backoff_multiplier < 1.0 ||
+      config.backoff_jitter_fraction < 0.0 || config.budget_tokens < 0.0 ||
+      config.retry_token_cost < 0.0 || config.success_refund_tokens < 0.0 ||
+      config.throttle_factor < 1.0 || config.abandon_wait_seconds < 0.0 ||
+      config.clients > (1ULL << 24)) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "implausible retry settings");
+  }
+  return config;
+}
+
+void RetryModel::Serialize(persist::Writer& w) const {
+  SerializeRetryConfig(config_, w);
+  w.PutU64(seed_);
+  w.PutDoubles(tokens_);
+  w.PutU64(retries_granted_);
+  w.PutU64(retries_exhausted_);
+  w.PutU64(retries_throttled_);
+}
+
+RetryModel RetryModel::Deserialize(persist::Reader& r) {
+  const RetryConfig config = DeserializeRetryConfig(r);
+  const uint64_t seed = r.GetU64();
+  RetryModel model(config, seed);
+  std::vector<double> tokens = r.GetDoubles();
+  if (tokens.size() != config.clients) {
+    throw persist::PersistError(persist::ErrorCode::kFormat,
+                                "retry token count mismatches client count");
+  }
+  for (const double t : tokens) {
+    if (t < 0.0 || t > config.budget_tokens) {
+      throw persist::PersistError(persist::ErrorCode::kFormat,
+                                  "retry tokens out of range");
+    }
+  }
+  model.tokens_ = std::move(tokens);
+  model.retries_granted_ = static_cast<size_t>(r.GetU64());
+  model.retries_exhausted_ = static_cast<size_t>(r.GetU64());
+  model.retries_throttled_ = static_cast<size_t>(r.GetU64());
+  return model;
+}
+
+}  // namespace robust
+}  // namespace msprint

@@ -1,0 +1,120 @@
+// Deterministic client retry model (DESIGN.md §14).
+//
+// Real overload collapses are rarely caused by the original traffic: shed
+// or timed-out queries re-arrive as retries, multiplying offered load
+// exactly when the server can least afford it (the metastable-failure
+// pattern). This module models that client population:
+//
+//   * jittered exponential backoff — attempt k of a query re-arrives
+//     after base * multiplier^(k-1) * (1 + jitter), where the jitter is
+//     drawn from a stream derived from (seed, query id, attempt), so the
+//     delay is a pure function of those three values: byte-identical
+//     replays for any MSPRINT_THREADS, independent of evaluation order;
+//   * per-client retry budgets — the query population is partitioned
+//     across a fixed set of clients; each retry spends a token from its
+//     client's bucket and each success earns a fraction back, so a
+//     client that only ever sees failures runs dry and stops retrying
+//     (the retry-budget pattern from production RPC stacks);
+//   * adaptive retry throttling — when the recently observed shed
+//     fraction crosses `throttle_shed_threshold`, backoff is stretched by
+//     `throttle_factor`: clients collectively back off harder while the
+//     server is visibly drowning.
+//
+// The token state round-trips bit-exactly through Serialize/Deserialize
+// for checkpointing, fail-closed on malformed bytes.
+
+#ifndef MSPRINT_SRC_ROBUST_RETRY_H_
+#define MSPRINT_SRC_ROBUST_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/persist/persist.h"
+
+namespace msprint {
+namespace robust {
+
+struct RetryConfig {
+  // Master switch; a disabled model never schedules re-arrivals.
+  bool enabled = false;
+
+  // Total attempts per logical request, including the first. 1 disables
+  // retries while keeping abandonment semantics.
+  size_t max_attempts = 3;
+
+  // Backoff: attempt k (k >= 1 retries) waits
+  // base * multiplier^(k-1) * (1 + U[0, jitter_fraction]).
+  double backoff_base_seconds = 5.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter_fraction = 0.5;
+
+  // Client population for retry budgets. Query id -> client id modulo
+  // this; 0 disables budgets entirely (unlimited retries — the
+  // unprotected baseline of the storm bench).
+  size_t clients = 0;
+  double budget_tokens = 10.0;        // initial tokens per client
+  double retry_token_cost = 1.0;      // tokens one retry spends
+  double success_refund_tokens = 0.1;  // tokens one success earns back
+
+  // Adaptive throttle: when the caller-observed shed fraction exceeds the
+  // threshold, backoff delays are multiplied by throttle_factor.
+  double throttle_shed_threshold = 0.5;
+  double throttle_factor = 4.0;
+
+  // A client abandons a queued query once it has waited this long without
+  // being dispatched (0: never). Abandoned queries free no server work —
+  // the server still holds the slot reservation until it would have
+  // dispatched them — but they stop counting toward goodput and may
+  // retry, which is exactly the amplification loop.
+  double abandon_wait_seconds = 0.0;
+};
+
+class RetryModel {
+ public:
+  RetryModel(const RetryConfig& config, uint64_t seed);
+
+  const RetryConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  // Decides whether attempt `attempt` (1-based; the failed attempt just
+  // observed) of logical request `request_id` retries. Returns the
+  // backoff delay in seconds, or a negative value when the client gives
+  // up (attempts exhausted or retry budget dry). `shed_fraction` is the
+  // caller's recent shed-rate observation feeding the adaptive throttle.
+  // Deterministic: the jitter draw is a pure function of
+  // (seed, request_id, attempt) and token spending is replay-ordered by
+  // the serial caller.
+  double NextRetryDelay(uint64_t request_id, size_t attempt,
+                        double shed_fraction);
+
+  // Credits the request's client for a success.
+  void OnSuccess(uint64_t request_id);
+
+  uint64_t ClientOf(uint64_t request_id) const;
+  double ClientTokens(uint64_t client) const;
+
+  size_t retries_granted() const { return retries_granted_; }
+  size_t retries_exhausted() const { return retries_exhausted_; }
+  size_t retries_throttled() const { return retries_throttled_; }
+
+  void Serialize(persist::Writer& w) const;
+  static RetryModel Deserialize(persist::Reader& r);
+
+ private:
+  RetryConfig config_;
+  uint64_t seed_ = 0;
+  std::vector<double> tokens_;  // per client; empty when clients == 0
+
+  size_t retries_granted_ = 0;
+  size_t retries_exhausted_ = 0;   // budget dry or attempts exhausted
+  size_t retries_throttled_ = 0;   // granted, but throttle-stretched
+};
+
+void SerializeRetryConfig(const RetryConfig& config, persist::Writer& w);
+RetryConfig DeserializeRetryConfig(persist::Reader& r);
+
+}  // namespace robust
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ROBUST_RETRY_H_

@@ -1,0 +1,128 @@
+// Metastable-failure storm scenarios and the A/B overload bench
+// (DESIGN.md §14).
+//
+// A storm is the textbook metastable failure: a flash crowd multiplies
+// arrivals, a breaker trip inside the crowd locks out sprinting (so the
+// server cannot burst its way out), queued queries blow past their
+// timeouts, clients abandon and retry, and the retries keep offered load
+// above capacity long after the crowd ends. RunStormAB replays the SAME
+// storm — same seed, same arrivals, same fault windows, same client
+// behaviour — against two servers:
+//
+//   baseline  — no admission control, unlimited retry budgets
+//               (clients = 0): the unprotected server that collapses;
+//   hardened  — an admission policy on the arrival path plus per-client
+//               retry budgets and adaptive throttling: the protected
+//               server that keeps doing useful work.
+//
+// The report's goodput ratio (hardened / baseline) is the bench's gate:
+// CI replays committed .storm configs and fails when the hardened side
+// stops sustaining a multiple of the baseline's goodput. Every number in
+// the report is byte-stable for any MSPRINT_THREADS.
+
+#ifndef MSPRINT_SRC_ROBUST_STORM_H_
+#define MSPRINT_SRC_ROBUST_STORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/testbed/testbed.h"
+
+namespace msprint {
+namespace robust {
+
+// One storm scenario. The defaults place the crowd mid-run so the
+// baseline serves a healthy prefix before collapsing: the abandon
+// threshold sits above the steady-state queue wait at 0.85 utilization
+// (~6 mean service times) but far below the wait the crowd backlog
+// induces, so abandonment — and the retry amplification that makes the
+// failure metastable — only ignites once the crowd lands. That keeps
+// the baseline's goodput nonzero and the A/B ratio finite.
+struct StormConfig {
+  WorkloadId workload = WorkloadId::kJacobi;
+  uint64_t seed = 1;
+  size_t queries = 4000;
+  size_t warmup = 400;
+  double utilization = 0.85;
+  int slots = 1;
+
+  // Policy under test (both sides serve with the same policy).
+  double timeout_seconds = 60.0;
+  double budget_fraction = 0.2;
+  double refill_seconds = 200.0;
+
+  // The storm: a scheduled flash crowd with a breaker trip inside it.
+  double crowd_begin_seconds = 120000.0;
+  double crowd_end_seconds = 126000.0;
+  double crowd_intensity = 6.0;
+  double breaker_begin_seconds = 121800.0;
+  double breaker_end_seconds = 124800.0;
+
+  // Client behaviour, identical on both sides.
+  size_t max_attempts = 4;
+  double backoff_base_seconds = 15.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter_fraction = 0.5;
+  double abandon_wait_seconds = 1800.0;
+
+  // Protection, hardened side only.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kDeadlineAware;
+  size_t queue_cap = 64;
+  double deadline_slack = 1.0;
+  double codel_target_seconds = 5.0;
+  double codel_interval_seconds = 100.0;
+  size_t clients = 64;
+  double budget_tokens = 6.0;
+  double retry_token_cost = 1.0;
+  double success_refund_tokens = 0.25;
+  double throttle_shed_threshold = 0.3;
+  double throttle_factor = 4.0;
+};
+
+// Parses a `.storm` file: one `key = value` per line, '#' comments and
+// blank lines ignored. Keys are the StormConfig field names (e.g.
+// `crowd_intensity = 8`); `workload` takes a catalog name and
+// `admission_policy` one of none|queue-cap|deadline-aware|codel. Unknown
+// keys and malformed values throw std::invalid_argument — committed storm
+// configs fail loudly, not silently.
+StormConfig ParseStormConfig(const std::string& text);
+
+// The TestbedConfig one side of the A/B runs. `hardened` false gives the
+// unprotected baseline (no admission, clients = 0).
+TestbedConfig MakeStormTestbedConfig(const StormConfig& storm, bool hardened);
+
+// Aggregates of one side's RunTrace that the report prints.
+struct StormSideStats {
+  size_t goodput = 0;    // logical requests with a served attempt
+  size_t badput = 0;     // logical requests with none
+  size_t shed = 0;       // attempts turned away at the door
+  size_t abandoned = 0;  // attempts whose client gave up waiting
+  size_t retries = 0;    // attempts beyond each request's first
+  size_t served = 0;     // attempts that completed service
+  double goodput_per_second = 0.0;
+  double mean_response_time = 0.0;
+  double makespan = 0.0;
+};
+
+StormSideStats SummarizeStormSide(const RunTrace& trace);
+
+struct StormReport {
+  StormConfig config;
+  StormSideStats baseline;
+  StormSideStats hardened;
+  // hardened.goodput_per_second / baseline.goodput_per_second; infinity
+  // collapses to 1e9 so the report stays printable and diffable.
+  double goodput_ratio = 0.0;
+};
+
+// Runs both sides of the A/B serially and summarizes.
+StormReport RunStormAB(const StormConfig& config);
+
+// Byte-stable report rendering (fixed %.6f, no locale, no wall clock) —
+// the artifact the storm determinism test and the CI overload gate diff.
+std::string FormatStormReport(const StormReport& report);
+
+}  // namespace robust
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_ROBUST_STORM_H_

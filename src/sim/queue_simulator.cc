@@ -45,6 +45,7 @@ struct QueryColumns {
   uint64_t* stamps;
   uint8_t* timed_out;
   uint8_t* sprinted;
+  uint8_t* shed;
 };
 
 }  // namespace
@@ -78,7 +79,7 @@ SimResult SimulateQueue(const SimConfig& config,
   RunArena arena;
   arena.Reserve(RunArena::BytesFor<double>(n) * 6 +
                 RunArena::BytesFor<uint64_t>(n) +
-                RunArena::BytesFor<uint8_t>(n) * 2 +
+                RunArena::BytesFor<uint8_t>(n) * 3 +
                 RunArena::BytesFor<size_t>(n));
   QueryColumns q;
   q.arrival = arena.AllocateUninit<double>(n);      // pre-gen writes all
@@ -90,6 +91,7 @@ SimResult SimulateQueue(const SimConfig& config,
   q.stamps = arena.Allocate<uint64_t>(n);
   q.timed_out = arena.Allocate<uint8_t>(n);
   q.sprinted = arena.Allocate<uint8_t>(n);
+  q.shed = arena.Allocate<uint8_t>(n);
   // FIFO ring: every query enqueues exactly once, so a monotone index
   // pair over an n-slot array replaces the old std::deque (and its
   // per-node heap churn).
@@ -121,6 +123,7 @@ SimResult SimulateQueue(const SimConfig& config,
 
   SprintBudget budget(config.budget_capacity_seconds,
                       config.budget_refill_seconds);
+  robust::AdmissionController admission(config.admission, config.slots);
 
   // Same-timestamp events pop in push order (the EventQueue (time, seq)
   // contract); each engine action below relies on that explicit tiebreak.
@@ -139,6 +142,9 @@ SimResult SimulateQueue(const SimConfig& config,
   };
 
   auto dispatch = [&](size_t query, double now) {
+    if (config.admission.Enabled()) {
+      admission.OnDispatch(now, now - q.arrival[query]);
+    }
     q.start[query] = now;
     const double timeout_at = q.arrival[query] + config.timeout_seconds;
     const bool timeout_already_fired = timeout_at <= now;
@@ -164,6 +170,9 @@ SimResult SimulateQueue(const SimConfig& config,
   };
 
   auto complete = [&](size_t query, double now) {
+    if (config.admission.Enabled()) {
+      admission.OnServiceSample(now - q.start[query]);
+    }
     if (q.sprinted[query]) {
       q.sprint_seconds[query] = now - q.sprint_begin[query];
       budget.ConsumeAllowingDebt(now, q.sprint_seconds[query]);
@@ -178,7 +187,13 @@ SimResult SimulateQueue(const SimConfig& config,
 
     switch (static_cast<EventType>(ev.type())) {
       case EventType::kArrival: {
-        fifo[fifo_tail++] = query;
+        if (config.admission.Enabled() &&
+            !admission.Admit(now, fifo_tail - fifo_head,
+                             config.timeout_seconds)) {
+          q.shed[query] = 1;  // turned away: never enqueues, never runs
+        } else {
+          fifo[fifo_tail++] = query;
+        }
         if (++next_arrival < n) {
           events.Push(q.arrival[next_arrival],
                       static_cast<uint32_t>(EventType::kArrival),
@@ -228,7 +243,13 @@ SimResult SimulateQueue(const SimConfig& config,
   StreamingStats qd_stats;
   size_t sprinted = 0;
   size_t timed_out = 0;
+  size_t served = 0;
   for (size_t i = first; i < n; ++i) {
+    if (q.shed[i]) {
+      ++result.shed_count;  // never ran: no response time to report
+      continue;
+    }
+    ++served;
     const double response = q.depart[i] - q.arrival[i];
     result.response_times.push_back(response);
     rt_stats.Add(response);
@@ -242,11 +263,13 @@ SimResult SimulateQueue(const SimConfig& config,
     }
     result.makespan = std::max(result.makespan, q.depart[i]);
   }
-  const double count = static_cast<double>(n - first);
+  // Fractions are over *served* queries; with admission disabled this is
+  // exactly the historical n - first denominator.
+  const double count = static_cast<double>(served);
   result.mean_response_time = rt_stats.mean();
   result.mean_queueing_delay = qd_stats.mean();
-  result.fraction_sprinted = sprinted / count;
-  result.fraction_timed_out = timed_out / count;
+  result.fraction_sprinted = count > 0.0 ? sprinted / count : 0.0;
+  result.fraction_timed_out = count > 0.0 ? timed_out / count : 0.0;
 
   // Counters only: simulations run on pool workers (replications, SA
   // chains), and the flight recorder is reserved for serial paths. Sharded
@@ -255,6 +278,9 @@ SimResult SimulateQueue(const SimConfig& config,
   obs::Count("sim/queries", n - first);
   obs::Count("sim/sprinted", sprinted);
   obs::Count("sim/timed_out", timed_out);
+  if (config.admission.Enabled()) {
+    obs::Count("sim/shed", result.shed_count);
+  }
 
   // Span recording needs the explicit opt-in on top of an attached
   // collector: simulations also run on pool workers while an ObsSession is
@@ -265,6 +291,9 @@ SimResult SimulateQueue(const SimConfig& config,
       std::vector<obs::SpanInputs> inputs;
       inputs.reserve(n - first);
       for (size_t i = first; i < n; ++i) {
+        if (q.shed[i]) {
+          continue;  // no milestones: the query never entered the system
+        }
         obs::SpanInputs in;
         in.id = i;
         in.arrival = q.arrival[i];
@@ -292,6 +321,7 @@ SimResult SimulateQueue(const SimConfig& config,
       out.depart = q.depart[i];
       out.timed_out = q.timed_out[i] != 0;
       out.sprinted = q.sprinted[i] != 0;
+      out.shed = q.shed[i] != 0;
       out.sprint_seconds = q.sprint_seconds[i];
     }
   }

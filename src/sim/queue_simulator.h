@@ -23,6 +23,7 @@
 
 #include "src/common/distribution.h"
 #include "src/common/stats.h"
+#include "src/robust/admission.h"
 #include "src/sprint/budget.h"
 
 namespace msprint {
@@ -64,6 +65,12 @@ struct SimConfig {
 
   uint64_t seed = 1;
 
+  // Admission control on the simulated arrival path (DESIGN.md §14). The
+  // default admits everything — the historical behaviour, bit-exact.
+  // Shed queries never enqueue, never run and are excluded from the
+  // response-time statistics (counted in SimResult::shed_count).
+  robust::AdmissionConfig admission;
+
   // When true AND a span collector is attached (obs::ActiveSpans), the
   // post-warmup queries are recorded as attribution spans. Off by default
   // because simulations also run on pool workers (replications, SA chains)
@@ -81,6 +88,7 @@ struct SimQuery {
   double depart = 0.0;
   bool timed_out = false;
   bool sprinted = false;
+  bool shed = false;  // turned away by the admission controller
   double sprint_seconds = 0.0;
 
   double ResponseTime() const { return depart - arrival; }
@@ -95,6 +103,7 @@ struct SimResult {
   double fraction_timed_out = 0.0;
   double total_sprint_seconds = 0.0;
   double makespan = 0.0;  // departure time of the last query
+  size_t shed_count = 0;  // post-warmup arrivals the controller turned away
 
   double MedianResponseTime() const;
   double PercentileResponseTime(double q) const;

@@ -32,7 +32,7 @@ double LoadOverheadFactor(size_t queue_length) {
 }
 
 enum class EventType : uint32_t { kArrival, kDeparture, kTimeout,
-                                  kBreakerTrip };
+                                  kBreakerTrip, kAbandon };
 
 // Per-workload constants of the generation loop. Everything here is a
 // pure function of (config, workload id) — spec lookup, the mix-inflated
@@ -146,7 +146,14 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
               window.end - window.begin);
   }
 
+  // Retries append extra attempt records past the n originals. Capacity
+  // is reserved up front so the per-query arrays never move: every
+  // logical request spawns at most max_attempts attempt records.
+  const size_t capacity =
+      config.retry.enabled ? n * config.retry.max_attempts : n;
+
   std::vector<Query> queries(n);
+  queries.reserve(capacity);
   {
     // Built lazily per sampled workload; indexed by WorkloadId value.
     std::array<WorkloadGenCache, 16> gen_cache;
@@ -154,6 +161,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     for (size_t i = 0; i < n; ++i) {
       Query& q = queries[i];
       q.id = i;
+      q.request_id = i;
       q.workload = config.mix.SampleWorkload(rng);
       // Flash crowds compress interarrival gaps by the crowd intensity.
       t += interarrival->Sample(rng) / fault_plan.ArrivalIntensityAt(t);
@@ -187,40 +195,54 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   SprintBudget budget(config.policy.BudgetCapacitySeconds(),
                       config.policy.refill_seconds);
 
+  // Overload-robustness layer: the admission controller decides per
+  // arrival, the retry model re-arrives shed/abandoned attempts. Both are
+  // serial deterministic state machines (DESIGN.md §14).
+  robust::AdmissionController admission(config.admission, config.slots);
+  robust::RetryModel retry(config.retry,
+                           DeriveSeed(config.seed, 0x4E712Au));
+
   // Same-timestamp events pop in push order — the EventQueue (time, seq)
   // contract; arrival-before-breaker and departure-before-timeout races
   // at equal timestamps resolve by insertion order.
   EventQueue events(/*width_hint=*/1.0 / arrival_rate);
   // Every ancillary per-query array comes out of one arena reservation;
-  // the FIFO is a monotone index ring (each query enqueues exactly once),
-  // so the event loop below does zero heap traffic.
+  // the FIFO is a monotone index ring (each attempt enqueues at most
+  // once), so the event loop below does zero heap traffic.
   RunArena arena;
-  arena.Reserve(RunArena::BytesFor<uint64_t>(n) +
-                RunArena::BytesFor<double>(n) * 5 +
-                RunArena::BytesFor<uint8_t>(n) * 2 +
-                RunArena::BytesFor<size_t>(n));
-  uint64_t* stamps = arena.Allocate<uint64_t>(n);
+  arena.Reserve(RunArena::BytesFor<uint64_t>(capacity) +
+                RunArena::BytesFor<double>(capacity) * 5 +
+                RunArena::BytesFor<uint8_t>(capacity) * 2 +
+                RunArena::BytesFor<size_t>(capacity));
+  uint64_t* stamps = arena.Allocate<uint64_t>(capacity);
   // Effective sustained duration including load overhead, set at dispatch.
-  double* effective_service = arena.Allocate<double>(n);
+  double* effective_service = arena.Allocate<double>(capacity);
   // Span attribution bookkeeping: the multiplicative pieces of the
   // effective service time and the toggle latency each query paid, kept
   // per query so the post-run span sweep can decompose response times
   // exactly (see src/obs/span.h).
-  double* span_load_factor = arena.Allocate<double>(n, 1.0);
-  double* span_fault_multiplier = arena.Allocate<double>(n, 1.0);
-  double* span_toggle_seconds = arena.Allocate<double>(n);
+  double* span_load_factor = arena.Allocate<double>(capacity, 1.0);
+  double* span_fault_multiplier = arena.Allocate<double>(capacity, 1.0);
+  double* span_toggle_seconds = arena.Allocate<double>(capacity);
   // Sprint-abort bookkeeping: which queries are currently executing, which
   // had their sprint aborted by a breaker trip, and how much sustained-rate
   // work remained when the sprint engaged.
-  uint8_t* executing = arena.Allocate<uint8_t>(n);
-  uint8_t* sprint_aborted = arena.Allocate<uint8_t>(n);
-  double* sustained_remaining_at_sprint = arena.Allocate<double>(n);
-  size_t* fifo = arena.AllocateUninit<size_t>(n);
+  uint8_t* executing = arena.Allocate<uint8_t>(capacity);
+  uint8_t* sprint_aborted = arena.Allocate<uint8_t>(capacity);
+  double* sustained_remaining_at_sprint = arena.Allocate<double>(capacity);
+  size_t* fifo = arena.AllocateUninit<size_t>(capacity);
   size_t fifo_head = 0;
   size_t fifo_tail = 0;
+  // Queries waiting for a slot. Equal to fifo_tail - fifo_head (shed
+  // attempts never enqueue; abandoned attempts stay queued because the
+  // server cannot tell the client left).
+  size_t queued_count = 0;
   int free_slots = config.slots;
   size_t next_arrival = 0;
-  size_t departed = 0;
+  // Attempts whose fate is settled: departed, or shed. Abandoned attempts
+  // resolve at departure — the server still does the (wasted) work. The
+  // run ends when every spawned attempt resolved.
+  size_t resolved = 0;
   uint64_t stamp_counter = 0;
 
   events.Push(queries[0].arrival, static_cast<uint32_t>(EventType::kArrival),
@@ -244,6 +266,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   // records toggle failures only for sprints that would otherwise start).
   auto sprint_allowed = [&](size_t qi, double now) {
     if (injector.BreakerActive(now)) {
+      obs::Count("fault/breaker_lockout_denials");
       return false;
     }
     if (budget.Available(now) <= kBudgetEpsilon) {
@@ -264,6 +287,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     executing[qi] = 1;
     if (h_queue_depth != nullptr) {
       h_queue_depth->Record(static_cast<double>(queue_len_at_dispatch));
+    }
+    if (config.admission.Enabled()) {
+      admission.OnDispatch(now, now - q.arrival);  // CoDel sojourn feed
     }
     // Same association order as `service * load * fault` so the span
     // sweep's counterfactual milestones reproduce this double exactly.
@@ -322,6 +348,49 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     }
     executing[qi] = 0;
     ++free_slots;
+    if (config.admission.Enabled()) {
+      admission.OnServiceSample(now - q.start);
+    }
+    if (retry.enabled() && q.Served()) {
+      retry.OnSuccess(q.request_id);
+    }
+  };
+
+  // Recent shed pressure, feeding the retry model's adaptive throttle.
+  auto shed_fraction = [&]() {
+    const size_t decided = admission.admitted_count() + admission.shed_count();
+    return decided == 0 ? 0.0
+                        : static_cast<double>(admission.shed_count()) /
+                              static_cast<double>(decided);
+  };
+
+  // Consults the retry model after attempt `qi` failed (shed or
+  // abandoned); spawns the next attempt record and schedules its
+  // re-arrival. Returns true when a retry was scheduled.
+  auto spawn_retry = [&](size_t qi, double now) {
+    const Query& failed = queries[qi];
+    const double delay = retry.NextRetryDelay(
+        failed.request_id, failed.attempt, shed_fraction());
+    if (delay < 0.0) {
+      return false;
+    }
+    const size_t ri = queries.size();
+    Query next;
+    next.id = ri;
+    next.request_id = failed.request_id;
+    next.workload = failed.workload;
+    next.size = failed.size;
+    next.service_time = failed.service_time;  // the client retries the work
+    next.attempt = failed.attempt + 1;
+    next.first_arrival =
+        failed.first_arrival >= 0.0 ? failed.first_arrival : failed.arrival;
+    next.arrival = now + delay;
+    queries.push_back(next);  // never reallocates: capacity reserved
+    events.Push(next.arrival, static_cast<uint32_t>(EventType::kArrival),
+                ri, 0);
+    obs::Emit(now, obs::EventKind::kQueryRetry, obs::Subsystem::kTestbed,
+              obs::Severity::kInfo, ri, delay);
+    return true;
   };
 
   // A breaker trip aborts every in-flight sprint: the mechanism powers
@@ -329,7 +398,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   // work finishes at the sustained rate. Remaining work is prorated by the
   // fraction of the sprinted stretch already elapsed.
   auto abort_inflight_sprints = [&](double now) {
-    for (size_t qi = 0; qi < n; ++qi) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
       Query& q = queries[qi];
       if (!executing[qi] || !q.sprinted || sprint_aborted[qi] ||
           q.depart <= now) {
@@ -361,14 +430,35 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
 
     switch (static_cast<EventType>(ev.type())) {
       case EventType::kArrival: {
-        fifo[fifo_tail++] = evq;
-        obs::Emit(now, obs::EventKind::kQueueArrival,
-                  obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
-                  static_cast<double>(fifo_tail - fifo_head));
-        if (++next_arrival < n) {
+        // Only original arrivals advance the pre-generated chain; retry
+        // re-arrivals (evq >= n) were scheduled explicitly.
+        if (evq < n && ++next_arrival < n) {
           events.Push(queries[next_arrival].arrival,
                       static_cast<uint32_t>(EventType::kArrival),
                       next_arrival, 0);
+        }
+        if (config.admission.Enabled() &&
+            !admission.Admit(now, queued_count, timeout)) {
+          // Shed at the door: the attempt resolves immediately; the
+          // client may schedule a retry attempt.
+          queries[evq].shed = true;
+          ++resolved;
+          obs::Emit(now, obs::EventKind::kQueryShed,
+                    obs::Subsystem::kTestbed, obs::Severity::kWarn, evq,
+                    static_cast<double>(queued_count));
+          if (retry.enabled()) {
+            spawn_retry(evq, now);
+          }
+          break;
+        }
+        fifo[fifo_tail++] = evq;
+        ++queued_count;
+        obs::Emit(now, obs::EventKind::kQueueArrival,
+                  obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
+                  static_cast<double>(queued_count));
+        if (retry.enabled() && config.retry.abandon_wait_seconds > 0.0) {
+          events.Push(now + config.retry.abandon_wait_seconds,
+                      static_cast<uint32_t>(EventType::kAbandon), evq, 0);
         }
         break;
       }
@@ -377,10 +467,25 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           break;
         }
         complete(evq, now);
-        ++departed;
+        ++resolved;
         obs::Emit(now, obs::EventKind::kQueueDeparture,
                   obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
                   queries[evq].ResponseTime());
+        break;
+      }
+      case EventType::kAbandon: {
+        Query& q = queries[evq];
+        if (q.start >= 0.0 || q.shed || q.abandoned) {
+          break;  // already dispatched (or already off the queue)
+        }
+        // The client gives up waiting and may retry; the server cannot
+        // tell, so the stale attempt stays queued and its eventual
+        // service is pure badput — the metastable amplification loop.
+        q.abandoned = true;
+        obs::Emit(now, obs::EventKind::kQueryAbandon,
+                  obs::Subsystem::kTestbed, obs::Severity::kWarn, evq,
+                  now - q.arrival);
+        spawn_retry(evq, now);
         break;
       }
       case EventType::kTimeout: {
@@ -425,19 +530,21 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
 
     while (free_slots > 0 && fifo_head != fifo_tail) {
       const size_t qi = fifo[fifo_head++];
+      --queued_count;
       --free_slots;
-      dispatch(qi, std::max(now, queries[qi].arrival),
-               fifo_tail - fifo_head);
+      dispatch(qi, std::max(now, queries[qi].arrival), queued_count);
     }
 
-    // Once every query departed, only breaker trips remain in the queue;
-    // trips after the run's end never fire (and never enter the trace).
-    if (departed == n) {
+    // Once every attempt resolved, only breaker trips (and stale abandon
+    // timers) remain in the queue; events after the run's end never fire.
+    if (resolved == queries.size()) {
       break;
     }
   }
 
-  // Aggregate post-warmup.
+  // Aggregate post-warmup. The slice covers every attempt spawned at or
+  // after the first post-warmup original — including shed and abandoned
+  // attempts and every retry (retries always append past index n).
   RunTrace trace;
   const size_t first = std::min(config.warmup_queries, n);
   trace.queries.assign(queries.begin() + static_cast<long>(first),
@@ -454,7 +561,29 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
               : nullptr;
   size_t sprinted = 0;
   size_t timed_out = 0;
+  size_t completed = 0;
+  // Which post-warmup logical requests had a client-successful attempt.
+  std::vector<uint8_t> request_good(n >= first ? n - first : 0, 0);
   for (const auto& q : trace.queries) {
+    if (q.shed) {
+      ++trace.shed_count;
+      if (q.attempt > 1) {
+        ++trace.retry_count;
+      }
+      continue;  // never served: no response-time sample exists
+    }
+    if (q.attempt > 1) {
+      ++trace.retry_count;
+    }
+    if (q.abandoned) {
+      ++trace.abandoned_count;
+    } else {
+      ++trace.served_count;
+      if (q.request_id >= first && q.request_id < n) {
+        request_good[q.request_id - first] = 1;
+      }
+    }
+    ++completed;
     rt.Add(q.ResponseTime());
     qd.Add(q.QueueingDelay());
     pt.Add(q.ProcessingTime());
@@ -474,13 +603,35 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     }
     trace.makespan = std::max(trace.makespan, q.depart);
   }
+  for (const uint8_t good : request_good) {
+    if (good) {
+      ++trace.goodput_count;
+    } else {
+      ++trace.badput_count;
+    }
+  }
+  trace.goodput_per_second =
+      trace.makespan > 0.0
+          ? static_cast<double>(trace.goodput_count) / trace.makespan
+          : 0.0;
   if (metrics != nullptr) {
     metrics->GetCounter("testbed/runs").Increment();
     metrics->GetCounter("testbed/queries").Add(trace.queries.size());
     metrics->GetCounter("testbed/sprinted").Add(sprinted);
     metrics->GetCounter("testbed/timed_out").Add(timed_out);
+    if (config.admission.Enabled() || config.retry.enabled) {
+      metrics->GetCounter("robust/shed").Add(trace.shed_count);
+      metrics->GetCounter("robust/abandoned").Add(trace.abandoned_count);
+      metrics->GetCounter("robust/retries").Add(trace.retry_count);
+      metrics->GetCounter("robust/goodput").Add(trace.goodput_count);
+      metrics->GetCounter("robust/badput").Add(trace.badput_count);
+      metrics->GetCounter("robust/retries_exhausted")
+          .Add(retry.retries_exhausted());
+      metrics->GetCounter("robust/retries_throttled")
+          .Add(retry.retries_throttled());
+    }
   }
-  const double count = static_cast<double>(trace.queries.size());
+  const double count = static_cast<double>(completed);
   trace.mean_response_time = rt.mean();
   trace.mean_queueing_delay = qd.mean();
   trace.mean_processing_time = pt.mean();
@@ -502,9 +653,12 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     std::array<size_t, 16> num_phases{};
     std::array<bool, 16> cached{};
     std::vector<obs::SpanInputs> inputs;
-    inputs.reserve(n - first);
-    for (size_t qi = first; qi < n; ++qi) {
+    inputs.reserve(queries.size() - first);
+    for (size_t qi = first; qi < queries.size(); ++qi) {
       const Query& q = queries[qi];
+      if (q.shed) {
+        continue;  // never dispatched: there is no latency to attribute
+      }
       const size_t w = static_cast<size_t>(q.workload);
       if (!cached[w]) {
         const auto& phases = catalog.spec(q.workload).phases;
@@ -525,6 +679,7 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       in.fault_multiplier = span_fault_multiplier[qi];
       in.toggle_seconds = span_toggle_seconds[qi];
       in.sprint_begin = q.sprinted ? q.sprint_begin : -1.0;
+      in.first_arrival = q.first_arrival;
       in.sprinted = q.sprinted;
       in.timed_out = q.timed_out;
       in.sprint_aborted = sprint_aborted[qi] != 0;

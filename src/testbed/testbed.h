@@ -27,6 +27,8 @@
 #include "src/common/distribution.h"
 #include "src/common/stats.h"
 #include "src/fault/fault.h"
+#include "src/robust/admission.h"
+#include "src/robust/retry.h"
 #include "src/sprint/budget.h"
 #include "src/sprint/policy.h"
 #include "src/workload/workload.h"
@@ -63,6 +65,11 @@ struct TestbedConfig {
   // fault fires at a reproducible simulated time derived from the run seed
   // (or faults.seed when set), so storms replay byte-identically.
   FaultPlanConfig faults;
+
+  // Overload-robustness layer (src/robust; DESIGN.md §14). Defaults admit
+  // everything and never retry — the historical arrival path, bit-exact.
+  robust::AdmissionConfig admission;
+  robust::RetryConfig retry;
 };
 
 // Everything the profiler captures about one run (Section 2.1: "response
@@ -81,6 +88,19 @@ struct RunTrace {
   // Mean processing time over queries that never sprinted; its inverse is
   // the profiled service rate mu.
   double mean_unsprinted_processing_time = 0.0;
+
+  // Overload-robustness accounting over the post-warmup slice. `queries`
+  // then contains every attempt — served, shed and abandoned — and
+  // retries appear as extra attempts of the same request_id. Goodput is
+  // logical requests (originals) with at least one served attempt;
+  // goodput_per_second normalizes by the post-warmup makespan.
+  size_t shed_count = 0;
+  size_t abandoned_count = 0;
+  size_t retry_count = 0;      // attempts beyond each request's first
+  size_t served_count = 0;     // attempts that completed service
+  size_t goodput_count = 0;    // logical requests with a served attempt
+  size_t badput_count = 0;     // logical requests with none
+  double goodput_per_second = 0.0;
 
   // Faults that fired during the run (including warmup), in simulated-time
   // order. Empty when TestbedConfig::faults injects nothing.

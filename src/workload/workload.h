@@ -180,6 +180,20 @@ struct Query {
   double sprint_begin = -1.0;  // when sprinting began (-1 if never)
   double sprint_seconds = 0.0;  // budget consumed by this query
 
+  // Overload-robustness bookkeeping (src/robust). A shed query was turned
+  // away by the admission controller at arrival; an abandoned query's
+  // client gave up while it waited in the queue. Neither is ever served
+  // (start/depart stay -1). Retries are separate Query records: `attempt`
+  // counts attempts of the same logical request (1 = the original) and
+  // `first_arrival` is the original attempt's arrival time.
+  bool shed = false;
+  bool abandoned = false;
+  uint32_t attempt = 1;
+  uint64_t request_id = 0;      // logical request (original query id)
+  double first_arrival = -1.0;  // -1: this IS the first attempt
+
+  bool Served() const { return !shed && !abandoned && depart >= 0.0; }
+
   double ResponseTime() const { return depart - arrival; }
   double QueueingDelay() const { return start - arrival; }
   double ProcessingTime() const { return depart - start; }

@@ -32,6 +32,7 @@
 #include "src/obs/span.h"
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
+#include "src/robust/storm.h"
 #include "src/sim/multiclass_simulator.h"
 #include "src/sim/queue_simulator.h"
 #include "src/testbed/testbed.h"
@@ -255,6 +256,26 @@ TEST(DeterminismTest, FaultStormReplaysByteIdentically) {
   EXPECT_EQ(FormatFaultTrace(a.fault_trace), FormatFaultTrace(b.fault_trace));
   EXPECT_EQ(a.mean_response_time, b.mean_response_time);
   EXPECT_EQ(a.total_sprint_seconds, b.total_sprint_seconds);
+}
+
+TEST(DeterminismTest, StormReportByteIdenticalForAnyPoolSize) {
+  // The A/B overload bench is the newest export surface; like every
+  // other artifact it must render byte-identically no matter what
+  // MSPRINT_THREADS says — both arms are serial event loops and the
+  // retry jitter is a pure function of (seed, request, attempt).
+  std::string first;
+  for (const size_t pool_size : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(pool_size);
+    const robust::StormReport report = robust::RunStormAB(robust::StormConfig{});
+    const std::string text = robust::FormatStormReport(report);
+    if (first.empty()) {
+      first = text;
+    } else {
+      EXPECT_EQ(text, first);
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("goodput_ratio"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- advisor

@@ -30,6 +30,25 @@ TEST(McTraceTest, ActionFormatRoundTrips) {
   }
 }
 
+TEST(McTraceTest, OverloadAlphabetAppendsToDefault) {
+  const auto base = DefaultAlphabet();
+  const auto overload = OverloadAlphabet();
+  ASSERT_EQ(overload.size(), base.size() + 3);
+  // Strict append: the shared prefix keeps default-alphabet traces
+  // meaningful under either alphabet.
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(overload[i].kind, base[i].kind);
+    EXPECT_DOUBLE_EQ(overload[i].value, base[i].value);
+  }
+  for (size_t i = base.size(); i < overload.size(); ++i) {
+    const std::string line = FormatAction(overload[i]);
+    const Action parsed = ParseAction(line);
+    EXPECT_EQ(parsed.kind, overload[i].kind) << line;
+    EXPECT_DOUBLE_EQ(parsed.value, overload[i].value) << line;
+    EXPECT_EQ(FormatAction(parsed), line);
+  }
+}
+
 TEST(McTraceTest, ParseActionRejectsMalformedInput) {
   EXPECT_THROW(ParseAction("warp 9"), std::runtime_error);
   EXPECT_THROW(ParseAction("arrival"), std::runtime_error);
@@ -51,6 +70,28 @@ TEST(McTraceTest, TraceFileRoundTrips) {
   EXPECT_EQ(parsed.bug, trace.bug);
   EXPECT_EQ(parsed.invariant, trace.invariant);
   EXPECT_EQ(FormatTraceFile(parsed), text);
+  // overload defaults to false and the header is only written when set,
+  // so legacy trace files round trip byte-identically.
+  EXPECT_FALSE(parsed.overload);
+  EXPECT_EQ(text.find("# alphabet"), std::string::npos);
+}
+
+TEST(McTraceTest, OverloadTraceFileRoundTrips) {
+  TraceFile trace;
+  trace.actions = {{ActionKind::kShed, 4.0},
+                   {ActionKind::kRetryBurst, 3.0},
+                   {ActionKind::kPoll, 0.0}};
+  trace.bug = InjectedBug::kShedSignalDrop;
+  trace.invariant = "shed-window-honored";
+  trace.overload = true;
+  const std::string text = FormatTraceFile(trace);
+  EXPECT_NE(text.find("# alphabet overload\n"), std::string::npos);
+  const TraceFile parsed = ParseTraceFile(text);
+  EXPECT_TRUE(parsed.overload);
+  EXPECT_EQ(parsed.bug, trace.bug);
+  EXPECT_EQ(parsed.invariant, trace.invariant);
+  EXPECT_EQ(parsed.actions.size(), trace.actions.size());
+  EXPECT_EQ(FormatTraceFile(parsed), text);
 }
 
 TEST(McTraceTest, ParseTraceFileFailsClosed) {
@@ -61,12 +102,15 @@ TEST(McTraceTest, ParseTraceFileFailsClosed) {
       std::runtime_error);
   EXPECT_THROW(ParseTraceFile("# msprint mc trace v1\nbogus 1\n"),
                std::runtime_error);
+  EXPECT_THROW(
+      ParseTraceFile("# msprint mc trace v1\n# alphabet quantum\npoll\n"),
+      std::runtime_error);
 }
 
 TEST(McTraceTest, InjectedBugNamesRoundTrip) {
   for (const InjectedBug bug :
        {InjectedBug::kNone, InjectedBug::kBudgetDebt,
-        InjectedBug::kBreakerSignalDrop}) {
+        InjectedBug::kBreakerSignalDrop, InjectedBug::kShedSignalDrop}) {
     const auto parsed = InjectedBugFromName(ToString(bug));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, bug);
@@ -93,6 +137,28 @@ TEST(McHarnessTest, SnapshotRestoreIsBitExact) {
       const std::string after = harness.SaveState();
       const uint64_t fp = harness.Fingerprint();
       // Re-applying the same action from the same state is deterministic.
+      harness.RestoreState(bytes);
+      harness.Apply(action);
+      EXPECT_EQ(harness.SaveState(), after) << FormatAction(action);
+      EXPECT_EQ(harness.Fingerprint(), fp) << FormatAction(action);
+      bytes = after;
+    }
+  }
+}
+
+TEST(McHarnessTest, OverloadSnapshotRestoreIsBitExact) {
+  McConfig config;
+  config.overload_alphabet = true;
+  LadderHarness harness(config);
+  const auto alphabet = OverloadAlphabet();
+  std::string bytes = harness.SaveState();
+  for (int round = 0; round < 2; ++round) {
+    for (const Action& action : alphabet) {
+      harness.RestoreState(bytes);
+      const auto violation = harness.Apply(action);
+      EXPECT_FALSE(violation.has_value()) << FormatAction(action);
+      const std::string after = harness.SaveState();
+      const uint64_t fp = harness.Fingerprint();
       harness.RestoreState(bytes);
       harness.Apply(action);
       EXPECT_EQ(harness.SaveState(), after) << FormatAction(action);
@@ -129,6 +195,21 @@ TEST(McCheckerTest, CleanSystemHasNoViolations) {
   EXPECT_TRUE(report.reached_simulator);
   EXPECT_GT(report.lockout_polls, 0u);
   EXPECT_GT(report.max_budget_consumed, 0.0);
+}
+
+TEST(McCheckerTest, CleanOverloadSystemHasNoViolations) {
+  McConfig config;
+  config.horizon = 4;
+  config.overload_alphabet = true;
+  const McReport report = RunBoundedCheck(config);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->invariant << ": " << report.violation->detail;
+  EXPECT_EQ(report.alphabet_size, DefaultAlphabet().size() + 3);
+  // The overload actions genuinely enlarge the reachable space.
+  McConfig legacy;
+  legacy.horizon = 4;
+  const McReport base = RunBoundedCheck(legacy);
+  EXPECT_GT(report.states, base.states);
 }
 
 TEST(McCheckerTest, DeeperHorizonExploresStrictlyMore) {
@@ -224,6 +305,53 @@ TEST(McCheckerTest, FindsBreakerSignalDropBug) {
   EXPECT_FALSE(ReplayTrace(fixed, report.counterexample).has_value());
 }
 
+TEST(McCheckerTest, FindsShedSignalDropBug) {
+  McConfig config;
+  config.horizon = 4;
+  config.overload_alphabet = true;
+  config.bug = InjectedBug::kShedSignalDrop;
+  const McReport report = RunBoundedCheck(config);
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_EQ(report.violation->invariant, "shed-window-honored");
+  EXPECT_LE(report.counterexample.size(), 4u);
+  const auto replayed = ReplayTrace(config, report.counterexample);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->invariant, "shed-window-honored");
+  // With the signal path intact the same actions are clean.
+  McConfig fixed = config;
+  fixed.bug = InjectedBug::kNone;
+  EXPECT_FALSE(ReplayTrace(fixed, report.counterexample).has_value());
+}
+
+TEST(McCheckerTest, ReachesSheddingRungCleanly) {
+  // The full descent to the last-resort rung takes 12 actions — beyond
+  // the DFS horizon, so it is exercised here (and by the committed
+  // frontier trace) rather than by the bounded search: two arrivals to
+  // clear the signal floor, a poll to serve the first recommendation,
+  // then three rounds of (two wildly-off observations, poll) to demote
+  // hybrid -> simulator -> static -> shedding one rung per poll.
+  McConfig config;
+  config.overload_alphabet = true;
+  LadderHarness harness(config);
+  Trace descent = {{ActionKind::kArrival, 5.0},
+                   {ActionKind::kArrival, 5.0},
+                   {ActionKind::kPoll, 0.0}};
+  for (int round = 0; round < 3; ++round) {
+    descent.push_back({ActionKind::kObserve, 6.0});
+    descent.push_back({ActionKind::kObserve, 6.0});
+    descent.push_back({ActionKind::kPoll, 0.0});
+  }
+  for (const Action& action : descent) {
+    const auto violation = harness.Apply(action);
+    EXPECT_FALSE(violation.has_value())
+        << FormatAction(action) << ": " << violation->invariant;
+  }
+  EXPECT_EQ(harness.advisor().rung(), AdvisorRung::kShedding);
+  // A poll on the shedding rung is itself invariant-checked by the
+  // harness: it must serve a shed-enabled, non-sprinting recommendation.
+  EXPECT_FALSE(harness.Apply({ActionKind::kPoll, 0.0}).has_value());
+}
+
 // ------------------------------------------------------- golden corpus
 
 TEST(McGoldenTest, CommittedTracesReplayAsRecorded) {
@@ -247,6 +375,7 @@ TEST(McGoldenTest, CommittedTracesReplayAsRecorded) {
     // reproduces exactly; frontier traces (invariant "none") are clean.
     McConfig config;
     config.bug = trace.bug;
+    config.overload_alphabet = trace.overload;
     const auto violation = ReplayTrace(config, trace.actions);
     if (trace.invariant == "none") {
       EXPECT_FALSE(violation.has_value())
@@ -260,6 +389,7 @@ TEST(McGoldenTest, CommittedTracesReplayAsRecorded) {
     // cleanly — each counterexample is a permanent regression test.
     McConfig clean;
     clean.bug = InjectedBug::kNone;
+    clean.overload_alphabet = trace.overload;
     const auto clean_violation = ReplayTrace(clean, trace.actions);
     EXPECT_FALSE(clean_violation.has_value())
         << entry.path() << ": " << clean_violation->invariant << ": "

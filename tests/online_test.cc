@@ -11,6 +11,7 @@
 #include "src/common/distribution.h"
 #include "src/online/advisor.h"
 #include "src/online/estimator.h"
+#include "src/persist/checkpoint.h"
 
 namespace msprint {
 namespace {
@@ -386,6 +387,99 @@ TEST(AdvisorLadderTest, StaticFloorDisablesSprinting) {
   // The floor holds: further bad observations cannot demote below static.
   const Recommendation still = ObserveAndRecommend(advisor, t, 5.0, 10);
   EXPECT_EQ(still.rung, AdvisorRung::kStatic);
+}
+
+TEST(AdvisorLadderTest, ShedRungSitsBelowStaticWhenEnabled) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  AdvisorConfig config = WatchdogConfig();
+  config.enable_shed_rung = true;
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);
+  ObserveAndRecommend(advisor, t, 5.0, 6);    // hybrid -> simulator
+  ObserveAndRecommend(advisor, t, 5.0, 10);   // simulator -> static
+  const Recommendation rec = ObserveAndRecommend(advisor, t, 5.0, 10);
+  EXPECT_EQ(rec.rung, AdvisorRung::kShedding);
+  // The last-resort rung sheds instead of sprinting: the plan is the
+  // sprint-disabled static policy with the shed directive on top.
+  EXPECT_DOUBLE_EQ(rec.timeout_seconds, config.static_timeout_seconds);
+  EXPECT_TRUE(rec.shed_enabled);
+  // The floor holds below static too.
+  const Recommendation still = ObserveAndRecommend(advisor, t, 5.0, 10);
+  EXPECT_EQ(still.rung, AdvisorRung::kShedding);
+  // Accurate observations climb back out — shedding is not a trap rung.
+  const Recommendation recovered = ObserveAndRecommend(advisor, t, 1.0, 40);
+  EXPECT_LT(static_cast<int>(recovered.rung),
+            static_cast<int>(AdvisorRung::kShedding));
+}
+
+TEST(AdvisorLadderTest, ShedRungAbsentByDefault) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  OnlineAdvisor advisor(model, profile, WatchdogConfig());
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);
+  ObserveAndRecommend(advisor, t, 5.0, 6);
+  ObserveAndRecommend(advisor, t, 5.0, 10);
+  // However bad it gets, the legacy ladder bottoms out at kStatic and
+  // shed reports are ignored (no window, no directive).
+  advisor.OnShed(t, 100);
+  const Recommendation rec = ObserveAndRecommend(advisor, t, 5.0, 10);
+  EXPECT_EQ(rec.rung, AdvisorRung::kStatic);
+  EXPECT_FALSE(rec.shed_enabled);
+  EXPECT_DOUBLE_EQ(advisor.overload_until(), 0.0);
+}
+
+TEST(AdvisorLadderTest, OnShedOpensAWindowOverTheStandingPlan) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  AdvisorConfig config = WatchdogConfig();
+  config.enable_shed_rung = true;
+  config.overload_shed_window_seconds = 120.0;
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  const Recommendation healthy = ObserveAndRecommend(advisor, t, 1.0, 20);
+  EXPECT_EQ(healthy.rung, AdvisorRung::kHybrid);
+  EXPECT_FALSE(healthy.shed_enabled);
+
+  // A shed report opens the overlay without touching the ladder: the
+  // standing plan keeps serving (possibly shed AND sprint at once).
+  advisor.OnShed(t, 7);
+  EXPECT_DOUBLE_EQ(advisor.overload_until(), t + 120.0);
+  const auto inside = advisor.Recommend(t + 60.0);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_TRUE(inside->shed_enabled);
+  EXPECT_EQ(inside->rung, AdvisorRung::kHybrid);
+  // Repeated reports extend, never shrink; corrupt reports are ignored.
+  advisor.OnShed(t + 30.0, 3);
+  advisor.OnShed(t + 1000.0, 0);
+  advisor.OnShed(std::numeric_limits<double>::quiet_NaN(), 9);
+  EXPECT_DOUBLE_EQ(advisor.overload_until(), t + 150.0);
+  // Past the window the directive drops away by itself.
+  const auto after = advisor.Recommend(t + 151.0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(after->shed_enabled);
+}
+
+TEST(AdvisorLadderTest, OverloadWindowSurvivesSaveRestore) {
+  const UtilizationSensitiveModel model;
+  const WorkloadProfile profile = AdvisorProfile();
+  AdvisorConfig config = WatchdogConfig();
+  config.enable_shed_rung = true;
+  OnlineAdvisor advisor(model, profile, config);
+  double t = 0.0;
+  ObserveAndRecommend(advisor, t, 1.0, 20);
+  advisor.OnShed(t, 5);
+  persist::Writer w;
+  advisor.SaveState(w);
+
+  OnlineAdvisor restored(model, profile, config);
+  persist::RestoreAdvisorState(restored, w.bytes());
+  EXPECT_DOUBLE_EQ(restored.overload_until(), advisor.overload_until());
+  const auto rec = restored.Recommend(t + 1.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->shed_enabled);
 }
 
 // A model that has gone fully offline: every prediction throws.

@@ -23,6 +23,8 @@
 #include "src/persist/corruption.h"
 #include "src/persist/persist.h"
 #include "src/profiler/profile_io.h"
+#include "src/robust/admission.h"
+#include "src/robust/retry.h"
 #include "src/sprint/budget.h"
 
 namespace msprint {
@@ -601,6 +603,60 @@ TEST(CheckpointTest, InterruptedRewriteLeavesPreviousLoadable) {
                                 fx.advisor, fx.budget,
                                 persist::DriveState{41, 50, 720.0});
   EXPECT_EQ(persist::LoadCheckpointFromFile(path).drive.step, 50u);
+}
+
+TEST(CheckpointTest, OverloadSectionsAreOptionalAndRoundTrip) {
+  CheckpointFixture fx;
+  const std::string path = "/tmp/msprint_checkpoint_overload.msp";
+
+  // Without the overload companions the sections are absent — old
+  // checkpoints and new readers agree.
+  fx.SaveBytes(path);
+  EXPECT_FALSE(persist::LoadCheckpointFromFile(path).admission.has_value());
+  EXPECT_FALSE(persist::LoadCheckpointFromFile(path).retry.has_value());
+
+  // With them, the controller and the retry model round-trip bit-exactly.
+  robust::AdmissionConfig admission_config;
+  admission_config.policy = robust::AdmissionPolicy::kDeadlineAware;
+  robust::AdmissionController admission(admission_config, 2);
+  admission.OnServiceSample(12.5);
+  admission.Admit(10.0, 3, 30.0);
+  robust::RetryConfig retry_config;
+  retry_config.enabled = true;
+  retry_config.clients = 4;
+  robust::RetryModel retry(retry_config, 99);
+  retry.NextRetryDelay(6, 1, 0.0);
+  retry.OnSuccess(2);
+  persist::SaveCheckpointToFile(path, fx.profile, fx.model, fx.config,
+                                fx.advisor, fx.budget, fx.drive, &admission,
+                                &retry);
+  persist::LoadedCheckpoint loaded = persist::LoadCheckpointFromFile(path);
+  ASSERT_TRUE(loaded.admission.has_value());
+  ASSERT_TRUE(loaded.retry.has_value());
+  Writer live_w, restored_w;
+  admission.Serialize(live_w);
+  loaded.admission->Serialize(restored_w);
+  EXPECT_EQ(restored_w.bytes(), live_w.bytes());
+  Writer live_r, restored_r;
+  retry.Serialize(live_r);
+  loaded.retry->Serialize(restored_r);
+  EXPECT_EQ(restored_r.bytes(), live_r.bytes());
+  // The restored jitter stream continues exactly where the live one is.
+  EXPECT_EQ(loaded.retry->NextRetryDelay(7, 1, 0.0),
+            retry.NextRetryDelay(7, 1, 0.0));
+
+  // The new sections sit under the same record checksums as everything
+  // else: mutated checkpoints with overload state still all fail closed.
+  const std::string good = ReadFileBytes(path);
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    const std::string mutant = persist::CorruptBytes(good, seed);
+    ASSERT_NE(mutant, good) << "seed " << seed;
+    try {
+      persist::ParseCheckpoint(mutant);
+      FAIL() << "seed " << seed << " parsed a corrupted overload checkpoint";
+    } catch (const PersistError&) {
+    }
+  }
 }
 
 TEST(CheckpointTest, AdvisorRestoreIsAllOrNothing) {

@@ -94,6 +94,7 @@
 #include "src/online/advisor.h"
 #include "src/persist/checkpoint.h"
 #include "src/profiler/profile_io.h"
+#include "src/robust/storm.h"
 #include "src/testbed/testbed.h"
 
 namespace msprint {
@@ -450,6 +451,7 @@ int ReplayMcTraceAsFaults(const std::string& path) {
   const mc::TraceFile trace = mc::ParseTraceFile(ReadFileOrThrow(path));
   mc::McConfig config;
   config.bug = trace.bug;
+  config.overload_alphabet = trace.overload;
   mc::LadderHarness harness(config);
   std::optional<mc::Violation> violation;
   size_t applied = 0;
@@ -819,6 +821,19 @@ mc::InjectedBug ParseInjectedBugFlag(const Flags& flags) {
   return *bug;
 }
 
+bool ParseAlphabetFlag(const Flags& flags, bool fallback) {
+  const std::string name =
+      flags.GetString("alphabet", fallback ? "overload" : "default");
+  if (name == "default") {
+    return false;
+  }
+  if (name == "overload") {
+    return true;
+  }
+  throw FlagError("alphabet",
+                  "expected default|overload, got '" + name + "'");
+}
+
 int CmdMc(const Flags& flags) {
   // Replay mode: reproduce a recorded trace and re-assert the invariants.
   // The trace's own `# injected-bug` header decides the harness defect;
@@ -831,6 +846,9 @@ int CmdMc(const Flags& flags) {
     config.seed = flags.GetSize("seed", config.seed);
     config.bug = flags.Has("inject-bug") ? ParseInjectedBugFlag(flags)
                                          : trace.bug;
+    // The trace's own header decides the alphabet (and thus whether the
+    // harness runs with the shed rung); --alphabet overrides it.
+    config.overload_alphabet = ParseAlphabetFlag(flags, trace.overload);
     const auto violation = mc::ReplayTrace(config, trace.actions);
     std::cout << "# msprint mc replay v1\n"
               << "trace " << path << "\n"
@@ -852,6 +870,7 @@ int CmdMc(const Flags& flags) {
   config.max_transitions =
       flags.GetSize("max-transitions", config.max_transitions);
   config.bug = ParseInjectedBugFlag(flags);
+  config.overload_alphabet = ParseAlphabetFlag(flags, false);
 
   const mc::McReport report = mc::RunBoundedCheck(config);
   std::cout << mc::FormatReport(report);
@@ -861,20 +880,58 @@ int CmdMc(const Flags& flags) {
     std::filesystem::create_directories(dir);
     if (report.violation.has_value()) {
       mc::TraceFile trace{report.counterexample, config.bug,
-                          report.violation->invariant};
+                          report.violation->invariant,
+                          config.overload_alphabet};
       const std::string path =
           dir + "/counterexample_" + report.violation->invariant + ".trace";
       AtomicWriteFile(path, mc::FormatTraceFile(trace));
       std::cerr << "exported " << path << "\n";
     }
     for (const auto& [name, actions] : report.frontier) {
-      mc::TraceFile trace{actions, config.bug, "none"};
+      mc::TraceFile trace{actions, config.bug, "none",
+                          config.overload_alphabet};
       const std::string path = dir + "/frontier_" + name + ".trace";
       AtomicWriteFile(path, mc::FormatTraceFile(trace));
       std::cerr << "exported " << path << "\n";
     }
   }
   return report.violation.has_value() ? 4 : 0;
+}
+
+// ------------------------------------------------------ overload storms
+
+// Replays one metastable-failure storm A/B (DESIGN.md §14): the same
+// deterministic storm against the unprotected baseline and the hardened
+// (admission control + retry budgets) server. --require-ratio gates the
+// hardened/baseline goodput ratio — the CI overload-stress job replays
+// committed .storm configs through it.
+int CmdStorm(const Flags& flags) {
+  robust::StormConfig config;
+  if (flags.Has("config")) {
+    config =
+        robust::ParseStormConfig(ReadFileOrThrow(flags.GetString("config")));
+  }
+  // Quick overrides for sweeps; committed .storm files stay the source of
+  // truth for the CI replays.
+  config.seed = flags.GetSize("seed", config.seed);
+  config.queries = flags.GetSize("queries", config.queries);
+
+  const robust::StormReport report = robust::RunStormAB(config);
+  const std::string text = robust::FormatStormReport(report);
+  std::cout << text;
+  if (flags.Has("out")) {
+    AtomicWriteFile(flags.GetString("out"), text);
+  }
+  if (flags.Has("require-ratio")) {
+    const double required = flags.GetDouble("require-ratio");
+    if (!(report.goodput_ratio >= required)) {
+      std::cerr << "storm: goodput ratio "
+                << obs::StableDouble(report.goodput_ratio)
+                << " below required " << obs::StableDouble(required) << "\n";
+      return 5;
+    }
+  }
+  return 0;
 }
 
 void PrintUsage(std::ostream& out) {
@@ -912,15 +969,25 @@ void PrintUsage(std::ostream& out) {
       "  obs-diff  <a> <b> [--max-rel X --approx-rel X --abs-eps X]\n"
       "            (compare two exports; exit 3 on threshold breach)\n"
       "  mc        [--horizon N --seed S --max-transitions N\n"
-      "            --inject-bug none|budget-debt|breaker-signal-drop\n"
+      "            --alphabet default|overload\n"
+      "            --inject-bug none|budget-debt|breaker-signal-drop|\n"
+      "                         shed-signal-drop\n"
       "            --export DIR | --replay FILE]\n"
       "            (bounded model checking of the advisor ladder:\n"
       "            exhaustive DFS with fingerprint dedup; minimized\n"
       "            counterexample + exit 4 on invariant violation;\n"
-      "            --replay re-runs a recorded trace)\n"
+      "            --replay re-runs a recorded trace; --alphabet overload\n"
+      "            adds shed/retry-storm actions and the shed rung)\n"
+      "  storm     [--config F.storm --seed S --queries N --out F\n"
+      "            --require-ratio X]\n"
+      "            (metastable-failure A/B bench: the same deterministic\n"
+      "            retry storm against the unprotected baseline and the\n"
+      "            admission-controlled hardened server; exit 5 when the\n"
+      "            hardened/baseline goodput ratio falls below X)\n"
       "  help                          print this message\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
-      "            3 obs-diff threshold breach, 4 mc invariant violation\n";
+      "            3 obs-diff threshold breach, 4 mc invariant violation,\n"
+      "            5 storm goodput-ratio gate breach\n";
 }
 
 }  // namespace
@@ -990,6 +1057,9 @@ int main(int argc, char** argv) {
     }
     if (command == "mc") {
       return CmdMc(Flags(argc, argv, 2));
+    }
+    if (command == "storm") {
+      return CmdStorm(flags);
     }
     if (command == "explain") {
       return CmdExplain(flags);
