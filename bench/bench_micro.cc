@@ -24,6 +24,8 @@
 #include "src/core/models.h"
 #include "src/ml/neural_net.h"
 #include "src/obs/obs.h"
+#include "src/obs/sketch.h"
+#include "src/obs/slo.h"
 #include "src/sim/tick_simulator.h"
 #include "src/testbed/testbed.h"
 
@@ -278,6 +280,59 @@ void BM_TestbedRunWithSpans(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TestbedRunWithSpans)->Arg(1000);
+
+// One DDSketch insert — the per-response cost the SLO pipeline adds to
+// the testbed's serial event loop (log + map upsert). The CI obs job
+// gates the whole SLO bundle below 2% of BM_TestbedRun's per-query cost.
+void BM_SketchInsert(benchmark::State& state) {
+  // Pre-generate pseudo-random latencies so the RNG is outside the
+  // measured loop; cycle through a power-of-two window of them.
+  std::vector<double> values(4096);
+  Rng rng(17);
+  const LognormalDistribution latency(70.0, 0.6);
+  for (double& v : values) {
+    v = latency.Sample(rng);
+  }
+  obs::QuantileSketch sketch(0.01);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Insert(values[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchInsert);
+
+// One SLO pipeline feed step with advancing sim time: the arrival +
+// response + window-roll path a served query pays when `msprint slo` (or
+// the storm A/B) is watching. Window rolls amortize across feeds.
+void BM_WindowRoll(benchmark::State& state) {
+  std::vector<double> values(4096);
+  Rng rng(23);
+  const LognormalDistribution latency(70.0, 0.6);
+  for (double& v : values) {
+    v = latency.Sample(rng);
+  }
+  obs::SloConfig config;
+  config.window_seconds = 5.0;
+  config.timeline_capacity = 256;
+  obs::SloObjective objective;
+  objective.signal = obs::SloSignal::kP99;
+  objective.op = obs::SloOp::kLt;
+  objective.threshold = 200.0;
+  objective.budget = 0.1;
+  config.objectives.push_back(objective);
+  obs::SloPipeline pipeline(config);
+  double now = 0.0;
+  size_t i = 0;
+  for (auto _ : state) {
+    now += 1.25;  // four feeds per 5 s window
+    pipeline.OnArrival(now);
+    pipeline.OnResponse(now, values[i++ & 4095], true);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowRoll);
 
 void BM_CalibrationSearch(benchmark::State& state) {
   WorkloadProfile profile;

@@ -151,6 +151,32 @@ LogHistogram Histogram::Merged() const {
   return merged;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const uint64_t target = QuantileRankTarget(count, q);
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, bucket_count] : nonzero_buckets) {
+    cumulative += bucket_count;
+    if (cumulative >= target) {
+      // Same representative rule as LogHistogram::BucketRepresentative,
+      // evaluated from the snapshot's retained envelope.
+      double value;
+      if (bucket == 0) {
+        value = min;
+      } else if (bucket >= LogHistogram::NumBuckets() - 1) {
+        value = max;
+      } else {
+        value = std::sqrt(LogHistogram::BucketLowerBound(bucket) *
+                          LogHistogram::BucketUpperBound(bucket));
+      }
+      return std::clamp(value, min, max);
+    }
+  }
+  return max;
+}
+
 HistogramSnapshot SummarizeLogHistogram(std::string name,
                                         const LogHistogram& histogram) {
   HistogramSnapshot h;
@@ -160,14 +186,14 @@ HistogramSnapshot SummarizeLogHistogram(std::string name,
   h.min = histogram.min();
   h.max = histogram.max();
   h.approx_mean = histogram.ApproxMean();
-  h.p50 = histogram.ApproxQuantile(0.50);
-  h.p90 = histogram.ApproxQuantile(0.90);
-  h.p99 = histogram.ApproxQuantile(0.99);
   for (size_t i = 0; i < histogram.buckets().size(); ++i) {
     if (histogram.buckets()[i] > 0) {
       h.nonzero_buckets.emplace_back(i, histogram.buckets()[i]);
     }
   }
+  h.p50 = h.Quantile(0.50);
+  h.p90 = h.Quantile(0.90);
+  h.p99 = h.Quantile(0.99);
   return h;
 }
 

@@ -19,6 +19,7 @@
 #ifndef MSPRINT_SRC_OBS_METRICS_H_
 #define MSPRINT_SRC_OBS_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -40,6 +41,18 @@ enum class Determinism : uint8_t {
 
 // Byte-stable decimal rendering of a double (%.17g: bit-exact round trip).
 std::string StableDouble(double value);
+
+// The repo-wide nearest-rank rule: 1-based rank of the sample a quantile
+// estimator should return for fraction `q` over `count` samples. Shared by
+// HistogramSnapshot::Quantile, the SLO engine and QuantileSketch so every
+// quantile consumer agrees bit-for-bit (and stays bit-identical to
+// LogHistogram::ApproxQuantile, which predates this helper and cannot
+// depend on obs).
+inline uint64_t QuantileRankTarget(uint64_t count, double q) {
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  return std::min<uint64_t>(
+      count, 1 + static_cast<uint64_t>(q * static_cast<double>(count - 1)));
+}
 
 // Monotonic counter, sharded across padded atomic cells.
 class Counter {
@@ -113,6 +126,12 @@ struct HistogramSnapshot {
   double p90 = 0.0;
   double p99 = 0.0;
   std::vector<std::pair<size_t, uint64_t>> nonzero_buckets;
+
+  // Nearest-rank quantile over the recorded buckets, bit-identical to
+  // LogHistogram::ApproxQuantile on the histogram this snapshot came
+  // from. The single quantile path shared by exports, span attribution
+  // and the SLO engine.
+  double Quantile(double q) const;
 };
 
 // Summarizes a LogHistogram into an exported HistogramSnapshot — the same

@@ -26,21 +26,30 @@
 namespace msprint {
 namespace obs {
 
+class SloPipeline;
+
 // Currently attached sinks; nullptr when observability is idle.
 MetricsRegistry* ActiveMetrics();
 FlightRecorder* ActiveRecorder();
 SpanCollector* ActiveSpans();
+// The attached streaming SLO pipeline (src/obs/slo.h); call sites cache
+// the pointer once per run and feed it directly from serial paths.
+SloPipeline* ActiveSlo();
 
 // RAII attach/detach. Constructing with nullptrs is allowed (useful to
 // mask an outer session). The previous attachment is restored on
-// destruction, so sessions nest like a stack. The two-argument form masks
-// any outer span collector, matching its masking of metrics/recorder.
+// destruction, so sessions nest like a stack. The shorter forms mask any
+// outer span collector / SLO pipeline, matching their masking of
+// metrics/recorder.
 class ObsSession {
  public:
   ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder)
-      : ObsSession(metrics, recorder, nullptr) {}
+      : ObsSession(metrics, recorder, nullptr, nullptr) {}
   ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder,
-             SpanCollector* spans);
+             SpanCollector* spans)
+      : ObsSession(metrics, recorder, spans, nullptr) {}
+  ObsSession(MetricsRegistry* metrics, FlightRecorder* recorder,
+             SpanCollector* spans, SloPipeline* slo);
   ~ObsSession();
 
   ObsSession(const ObsSession&) = delete;
@@ -50,6 +59,7 @@ class ObsSession {
   MetricsRegistry* previous_metrics_;
   FlightRecorder* previous_recorder_;
   SpanCollector* previous_spans_;
+  SloPipeline* previous_slo_;
 };
 
 // --- instrumentation helpers -------------------------------------------

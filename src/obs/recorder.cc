@@ -39,6 +39,8 @@ std::string ToString(Subsystem subsystem) {
       return "pool";
     case Subsystem::kCli:
       return "cli";
+    case Subsystem::kSlo:
+      return "slo";
   }
   return "unknown";
 }
@@ -83,6 +85,12 @@ std::string ToString(EventKind kind) {
       return "query-retry";
     case EventKind::kQueryAbandon:
       return "query-abandon";
+    case EventKind::kSloAlertFire:
+      return "slo-alert-fire";
+    case EventKind::kSloAlertClear:
+      return "slo-alert-clear";
+    case EventKind::kSloAnomaly:
+      return "slo-anomaly";
   }
   return "unknown";
 }

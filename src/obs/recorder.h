@@ -38,8 +38,9 @@ enum class Subsystem : uint8_t {
   kPersist = 5,
   kPool = 6,
   kCli = 7,
+  kSlo = 8,
 };
-constexpr size_t kNumSubsystems = 8;
+constexpr size_t kNumSubsystems = 9;
 
 // The event taxonomy. Adding a kind is append-only: exported names feed CI
 // diffs and external dashboards.
@@ -63,6 +64,9 @@ enum class EventKind : uint8_t {
   kQueryShed,
   kQueryRetry,
   kQueryAbandon,
+  kSloAlertFire,
+  kSloAlertClear,
+  kSloAnomaly,
 };
 
 std::string ToString(Severity severity);

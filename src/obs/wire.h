@@ -1,0 +1,157 @@
+// Minimal little-endian byte encoding shared by the obs-layer artifacts
+// that must serialize without a link-time dependency on src/persist (obs
+// is a leaf library): the quantile sketch and the SLO pipeline state.
+// The persistence layer wraps these self-contained payloads in checksummed
+// record sections; corruption that slips past the section CRC is still
+// caught here and surfaces as std::invalid_argument, which the checkpoint
+// loader converts to its typed PersistError taxonomy.
+
+#ifndef MSPRINT_SRC_OBS_WIRE_H_
+#define MSPRINT_SRC_OBS_WIRE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace msprint {
+namespace obs {
+namespace wire {
+
+inline void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutI32(std::string& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+// IEEE-754 bit pattern: round trips are bit-exact.
+inline void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutBool(std::string& out, bool v) {
+  out.push_back(v ? '\x01' : '\x00');
+}
+
+inline void PutString(std::string& out, std::string_view s) {
+  PutU64(out, s.size());
+  out.append(s);
+}
+
+// Bounds-checked decoder. Every violation throws std::invalid_argument —
+// the fail-closed contract mirrors persist::Reader.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8() {
+    Need(1, "u8");
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    Need(4, "u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    Need(8, "u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  double GetFiniteF64(const char* what) {
+    const double v = GetF64();
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(std::string(what) + ": not finite");
+    }
+    return v;
+  }
+
+  bool GetBool() {
+    const uint8_t v = GetU8();
+    if (v > 1) {
+      throw std::invalid_argument("bool byte out of range");
+    }
+    return v == 1;
+  }
+
+  std::string GetString() {
+    const uint64_t n = GetU64();
+    if (n > remaining()) {
+      throw std::invalid_argument("string length exceeds remaining bytes");
+    }
+    std::string s(bytes_.substr(pos_, static_cast<size_t>(n)));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  // Reads a u64 element count whose elements occupy at least
+  // `min_bytes_per_item` bytes each; rejects counts that imply more bytes
+  // than remain, before anything is allocated.
+  uint64_t GetCount(size_t min_bytes_per_item, const char* what) {
+    const uint64_t n = GetU64();
+    if (min_bytes_per_item > 0 &&
+        n > remaining() / min_bytes_per_item) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": count exceeds remaining bytes");
+    }
+    return n;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  void ExpectEnd() const {
+    if (pos_ != bytes_.size()) {
+      throw std::invalid_argument("trailing bytes after payload");
+    }
+  }
+
+ private:
+  void Need(size_t n, const char* what) {
+    if (remaining() < n) {
+      throw std::invalid_argument(std::string("truncated ") + what);
+    }
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+}  // namespace obs
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_OBS_WIRE_H_

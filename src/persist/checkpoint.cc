@@ -21,6 +21,7 @@ constexpr char kSectionBudget[] = "budget";
 constexpr char kSectionDrive[] = "drive";
 constexpr char kSectionAdmission[] = "admission";
 constexpr char kSectionRetry[] = "retry";
+constexpr char kSectionSlo[] = "slo";
 
 DistributionKind DistributionKindFromByte(uint8_t byte) {
   if (byte > static_cast<uint8_t>(DistributionKind::kEmpirical)) {
@@ -150,7 +151,8 @@ void SaveCheckpointToFile(const std::string& path,
                           const SprintBudget& budget,
                           const DriveState& drive,
                           const robust::AdmissionController* admission,
-                          const robust::RetryModel* retry) {
+                          const robust::RetryModel* retry,
+                          const obs::SloPipeline* slo) {
   RecordWriter record;
 
   std::ostringstream profile_text;
@@ -188,6 +190,11 @@ void SaveCheckpointToFile(const std::string& path,
     Writer retry_w;
     retry->Serialize(retry_w);
     record.AddSection(kSectionRetry, retry_w.Take());
+  }
+  if (slo != nullptr) {
+    // Self-contained payload (src/obs/wire.h); the section CRC guards the
+    // bytes and SloPipeline::RestoreState fail-closes on their content.
+    record.AddSection(kSectionSlo, slo->SaveState());
   }
 
   WriteRecordToFile(path, record);
@@ -243,11 +250,18 @@ LoadedCheckpoint ParseCheckpoint(std::string bytes) {
       retry = robust::RetryModel::Deserialize(retry_r);
       retry_r.ExpectEnd();
     }
+    std::optional<obs::SloPipeline> slo;
+    if (record.Has(kSectionSlo)) {
+      // Throws std::invalid_argument on malformed bytes; the catch-all
+      // below converts it to the typed PersistError taxonomy.
+      slo = obs::SloPipeline::RestoreState(record.Section(kSectionSlo));
+    }
 
     return LoadedCheckpoint{std::move(profile),  std::move(model),
                             std::move(config),   std::move(budget),
                             drive,               std::move(advisor_state),
-                            std::move(admission), std::move(retry)};
+                            std::move(admission), std::move(retry),
+                            std::move(slo)};
   } catch (const PersistError&) {
     throw;
   } catch (const std::exception& error) {

@@ -12,6 +12,9 @@
 //   drive          — {seed, step, clock} cursor of the deterministic drive
 //   admission      — (optional) robust::AdmissionController state
 //   retry          — (optional) robust::RetryModel state
+//   slo            — (optional) obs::SloPipeline state (sketches, open +
+//                    closed windows, alert/anomaly state): a warm restart
+//                    resumes the SLO timeline mid-window bit-exactly
 //
 // Everything round-trips bit-exactly, so under the repo's determinism
 // invariant a restored advisor emits the same recommendation stream as one
@@ -24,6 +27,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/slo.h"
 #include "src/online/advisor.h"
 #include "src/persist/persist.h"
 #include "src/robust/admission.h"
@@ -51,7 +55,8 @@ AdvisorConfig DeserializeAdvisorConfig(Reader& r);
 // Saves a composed checkpoint via the atomic tmp+flush+rename protocol: a
 // crash at any write point leaves the previous checkpoint loadable.
 // `admission`/`retry` are optional overload-robustness companions of the
-// drive loop (DESIGN.md §14); pass nullptr (the default) to omit their
+// drive loop (DESIGN.md §14); `slo` is the optional streaming SLO
+// pipeline (DESIGN.md §15). Pass nullptr (the default) to omit their
 // sections — older checkpoints simply never have them.
 void SaveCheckpointToFile(const std::string& path,
                           const WorkloadProfile& profile,
@@ -61,7 +66,8 @@ void SaveCheckpointToFile(const std::string& path,
                           const SprintBudget& budget,
                           const DriveState& drive,
                           const robust::AdmissionController* admission = nullptr,
-                          const robust::RetryModel* retry = nullptr);
+                          const robust::RetryModel* retry = nullptr,
+                          const obs::SloPipeline* slo = nullptr);
 
 // A parsed checkpoint. `advisor_state` is the raw (already checksummed)
 // SaveState payload: construct an OnlineAdvisor against `model`/`profile`/
@@ -76,6 +82,7 @@ struct LoadedCheckpoint {
   // Present only when the checkpoint carried the matching section.
   std::optional<robust::AdmissionController> admission;
   std::optional<robust::RetryModel> retry;
+  std::optional<obs::SloPipeline> slo;
 };
 
 // Loads and fully validates a checkpoint file. Every failure mode —

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/obs/obs.h"
+#include "src/obs/slo.h"
+
 namespace msprint {
 namespace robust {
 
@@ -224,13 +227,72 @@ StormSideStats SummarizeStormSide(const RunTrace& trace) {
   return stats;
 }
 
+namespace {
+
+// Built-in objectives for the A/B bench: a window is bad when tail
+// latency blows past the client abandon threshold or when most offered
+// work stops becoming goodput. 60 s windows keep per-window samples
+// dense enough for a stable p99 at storm arrival rates.
+obs::SloConfig StormSloConfig(const StormConfig& storm) {
+  obs::SloConfig slo;
+  // The default burn horizons are tuned for 5 s windows; storms run on a
+  // much slower clock (mean service ~70 s, arrivals ~1/80 s). 600 s
+  // windows hold ~8 responses each, so windowed p99 reflects the queue
+  // rather than one unlucky query; the SRE pairs scale with them (short
+  // horizons span 5 windows, long ones span dozens) — isolated bad
+  // windows (the hardened side absorbing the crowd) stay quiet,
+  // sustained collapse (the baseline's metastable tail) pages and stays
+  // paging.
+  slo.window_seconds = 600.0;
+  // Long horizons are sized against the default crowd (6000 s = 10
+  // windows): a crowd-length violation burst fills both fast horizons
+  // and pages, then ages out and clears; only a violation that outlives
+  // the crowd by hours keeps paging.
+  slo.burn.fast_short_seconds = 3000.0;
+  slo.burn.fast_long_seconds = 7200.0;
+  slo.burn.fast_threshold = 14.4;
+  slo.burn.slow_short_seconds = 18000.0;
+  slo.burn.slow_long_seconds = 54000.0;
+  slo.burn.slow_threshold = 6.0;
+  obs::SloObjective p99;
+  p99.signal = obs::SloSignal::kP99;
+  p99.op = obs::SloOp::kLt;
+  p99.threshold = storm.abandon_wait_seconds;
+  p99.budget = 0.05;
+  obs::SloObjective goodput;
+  goodput.signal = obs::SloSignal::kGoodputRatio;
+  goodput.op = obs::SloOp::kGt;
+  goodput.threshold = 0.5;
+  goodput.budget = 0.05;
+  slo.objectives = {p99, goodput};
+  return slo;
+}
+
+// Runs one side with a streaming SLO pipeline attached (preserving any
+// outer metrics/recorder sinks) and reports its alert telemetry.
+StormSideStats RunStormSide(const StormConfig& config, bool hardened) {
+  obs::SloPipeline pipeline(StormSloConfig(config));
+  RunTrace trace;
+  {
+    obs::ObsSession session(obs::ActiveMetrics(), obs::ActiveRecorder(),
+                            obs::ActiveSpans(), &pipeline);
+    trace = Testbed::Run(MakeStormTestbedConfig(config, hardened));
+  }
+  StormSideStats stats = SummarizeStormSide(trace);
+  stats.first_alert_seconds = pipeline.FirstAlertSeconds();
+  stats.alert_fires = pipeline.AlertsFired();
+  stats.alert_clears = pipeline.AlertsCleared();
+  stats.paging_fraction = pipeline.PagingFraction();
+  return stats;
+}
+
+}  // namespace
+
 StormReport RunStormAB(const StormConfig& config) {
   StormReport report;
   report.config = config;
-  report.baseline =
-      SummarizeStormSide(Testbed::Run(MakeStormTestbedConfig(config, false)));
-  report.hardened =
-      SummarizeStormSide(Testbed::Run(MakeStormTestbedConfig(config, true)));
+  report.baseline = RunStormSide(config, false);
+  report.hardened = RunStormSide(config, true);
   if (report.baseline.goodput_per_second > 0.0) {
     report.goodput_ratio =
         report.hardened.goodput_per_second / report.baseline.goodput_per_second;
@@ -262,6 +324,11 @@ void AppendSide(std::string& out, const char* name, AdmissionPolicy policy,
   std::snprintf(line, sizeof(line),
                 "  mean_response_time %.6f makespan %.6f\n",
                 s.mean_response_time, s.makespan);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  slo first_alert %.6f fires %zu clears %zu paging %.6f\n",
+                s.first_alert_seconds, s.alert_fires, s.alert_clears,
+                s.paging_fraction);
   out += line;
 }
 

@@ -102,6 +102,15 @@ struct StormSideStats {
   double goodput_per_second = 0.0;
   double mean_response_time = 0.0;
   double makespan = 0.0;
+  // Streaming SLO telemetry over the side's run (DESIGN.md §15): sim time
+  // of the first burn-rate alert (negative when none fired), alert
+  // fire/clear transitions, and the fraction of windows spent paging —
+  // the hardened side should alert and recover, the baseline should page
+  // continuously once the storm ignites.
+  double first_alert_seconds = -1.0;
+  size_t alert_fires = 0;
+  size_t alert_clears = 0;
+  double paging_fraction = 0.0;
 };
 
 StormSideStats SummarizeStormSide(const RunTrace& trace);

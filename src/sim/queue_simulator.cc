@@ -8,6 +8,7 @@
 #include "src/core/event_queue.h"
 #include "src/core/run_arena.h"
 #include "src/obs/obs.h"
+#include "src/obs/slo.h"
 
 namespace msprint {
 
@@ -125,6 +126,12 @@ SimResult SimulateQueue(const SimConfig& config,
                       config.budget_refill_seconds);
   robust::AdmissionController admission(config.admission, config.slots);
 
+  // Streaming SLO pipeline: opt-in (record_timeline) because simulations
+  // also run on pool workers while a pipeline is attached, and the
+  // pipeline — like the flight recorder — is serial-only.
+  obs::SloPipeline* slo =
+      config.record_timeline ? obs::ActiveSlo() : nullptr;
+
   // Same-timestamp events pop in push order (the EventQueue (time, seq)
   // contract); each engine action below relies on that explicit tiebreak.
   EventQueue events(/*width_hint=*/1.0 / config.arrival_rate_per_second);
@@ -145,6 +152,9 @@ SimResult SimulateQueue(const SimConfig& config,
     if (config.admission.Enabled()) {
       admission.OnDispatch(now, now - q.arrival[query]);
     }
+    if (slo != nullptr) {
+      slo->OnQueueDepth(now, static_cast<double>(fifo_tail - fifo_head));
+    }
     q.start[query] = now;
     const double timeout_at = q.arrival[query] + config.timeout_seconds;
     const bool timeout_already_fired = timeout_at <= now;
@@ -154,6 +164,9 @@ SimResult SimulateQueue(const SimConfig& config,
         // Whole execution sprints (the marginal-rate case of Section 2).
         q.sprinted[query] = 1;
         q.sprint_begin[query] = now;
+        if (slo != nullptr) {
+          slo->OnSprintEngage(now);
+        }
         schedule_departure(query, now + q.service_time[query] /
                                       config.sprint_speedup);
         return;
@@ -177,6 +190,11 @@ SimResult SimulateQueue(const SimConfig& config,
       q.sprint_seconds[query] = now - q.sprint_begin[query];
       budget.ConsumeAllowingDebt(now, q.sprint_seconds[query]);
     }
+    if (slo != nullptr) {
+      // The simulator has no badput notion: every served query is good.
+      slo->OnResponse(now, now - q.arrival[query], /*good=*/true);
+      slo->OnBudgetLevel(now, budget.Available(now));
+    }
     ++free_slots;
   };
 
@@ -191,8 +209,14 @@ SimResult SimulateQueue(const SimConfig& config,
             !admission.Admit(now, fifo_tail - fifo_head,
                              config.timeout_seconds)) {
           q.shed[query] = 1;  // turned away: never enqueues, never runs
+          if (slo != nullptr) {
+            slo->OnShed(now);
+          }
         } else {
           fifo[fifo_tail++] = query;
+          if (slo != nullptr) {
+            slo->OnArrival(now);
+          }
         }
         if (++next_arrival < n) {
           events.Push(q.arrival[next_arrival],
@@ -216,10 +240,16 @@ SimResult SimulateQueue(const SimConfig& config,
           break;
         }
         q.timed_out[query] = 1;
+        if (slo != nullptr) {
+          slo->OnTimeout(now);
+        }
         if (budget.Available(now) > kBudgetEpsilon) {
           // Equation 1: remaining work finishes at the sprint speedup.
           q.sprinted[query] = 1;
           q.sprint_begin[query] = now;
+          if (slo != nullptr) {
+            slo->OnSprintEngage(now);
+          }
           const double remaining = q.depart[query] - now;
           schedule_departure(query, now + remaining / config.sprint_speedup);
         }
@@ -270,6 +300,9 @@ SimResult SimulateQueue(const SimConfig& config,
   result.mean_queueing_delay = qd_stats.mean();
   result.fraction_sprinted = count > 0.0 ? sprinted / count : 0.0;
   result.fraction_timed_out = count > 0.0 ? timed_out / count : 0.0;
+  if (slo != nullptr) {
+    slo->Finish(result.makespan);
+  }
 
   // Counters only: simulations run on pool workers (replications, SA
   // chains), and the flight recorder is reserved for serial paths. Sharded

@@ -78,6 +78,13 @@ struct SimConfig {
   // recorder — is reserved for serial deterministic paths; only serial
   // call sites (e.g. `msprint explain --profile`) should set this.
   bool record_spans = false;
+
+  // When true AND an SLO pipeline is attached (obs::ActiveSlo), the event
+  // loop feeds it windowed signals (arrivals, responses, sheds, sprint
+  // engages, budget level) at sim timestamps. Same opt-in rationale as
+  // record_spans: the pipeline is serial-only, so only serial call sites
+  // may set this.
+  bool record_timeline = false;
 };
 
 // Per-query record emitted by a simulation.

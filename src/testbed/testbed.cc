@@ -10,6 +10,7 @@
 #include "src/core/event_queue.h"
 #include "src/core/run_arena.h"
 #include "src/obs/obs.h"
+#include "src/obs/slo.h"
 
 namespace msprint {
 
@@ -188,6 +189,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   obs::Histogram* h_queue_depth =
       metrics ? &metrics->GetHistogram("testbed/queue_depth_at_dispatch")
               : nullptr;
+  // Streaming SLO pipeline, fed at the same serial points as the flight
+  // recorder. One cached pointer: the idle cost is a null check per site.
+  obs::SloPipeline* slo = obs::ActiveSlo();
 
   const double timeout = config.disable_sprinting
                              ? std::numeric_limits<double>::infinity()
@@ -288,6 +292,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
     if (h_queue_depth != nullptr) {
       h_queue_depth->Record(static_cast<double>(queue_len_at_dispatch));
     }
+    if (slo != nullptr) {
+      slo->OnQueueDepth(now, static_cast<double>(queue_len_at_dispatch));
+    }
     if (config.admission.Enabled()) {
       admission.OnDispatch(now, now - q.arrival);  // CoDel sojourn feed
     }
@@ -318,6 +325,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         q.sprint_begin = now;
         obs::Emit(now, obs::EventKind::kSprintEngage, obs::Subsystem::kTestbed,
                   obs::Severity::kInfo, qi, effective_service[qi]);
+        if (slo != nullptr) {
+          slo->OnSprintEngage(now);
+        }
         sustained_remaining_at_sprint[qi] = effective_service[qi];
         // Sprint engages as the query starts; the toggle happens during
         // dispatch and is cheaper than a mid-flight toggle, but not free.
@@ -420,6 +430,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       injector.RecordSprintAbort(qi, now);
       obs::Emit(now, obs::EventKind::kSprintAbort, obs::Subsystem::kTestbed,
                 obs::Severity::kWarn, qi, elapsed);
+      if (slo != nullptr) {
+        slo->OnSprintAbort(now);
+      }
     }
   };
 
@@ -446,6 +459,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           obs::Emit(now, obs::EventKind::kQueryShed,
                     obs::Subsystem::kTestbed, obs::Severity::kWarn, evq,
                     static_cast<double>(queued_count));
+          if (slo != nullptr) {
+            slo->OnShed(now);
+          }
           if (retry.enabled()) {
             spawn_retry(evq, now);
           }
@@ -456,6 +472,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         obs::Emit(now, obs::EventKind::kQueueArrival,
                   obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
                   static_cast<double>(queued_count));
+        if (slo != nullptr) {
+          slo->OnArrival(now);
+        }
         if (retry.enabled() && config.retry.abandon_wait_seconds > 0.0) {
           events.Push(now + config.retry.abandon_wait_seconds,
                       static_cast<uint32_t>(EventType::kAbandon), evq, 0);
@@ -471,6 +490,11 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         obs::Emit(now, obs::EventKind::kQueueDeparture,
                   obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
                   queries[evq].ResponseTime());
+        if (slo != nullptr) {
+          slo->OnResponse(now, queries[evq].ResponseTime(),
+                          queries[evq].Served());
+          slo->OnBudgetLevel(now, budget.Available(now));
+        }
         break;
       }
       case EventType::kAbandon: {
@@ -497,12 +521,18 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         obs::Emit(now, obs::EventKind::kQueryTimeout,
                   obs::Subsystem::kTestbed, obs::Severity::kDebug, evq,
                   timeout);
+        if (slo != nullptr) {
+          slo->OnTimeout(now);
+        }
         if (sprint_allowed(evq, now)) {
           q.sprinted = true;
           q.sprint_begin = now;
           obs::Emit(now, obs::EventKind::kSprintEngage,
                     obs::Subsystem::kTestbed, obs::Severity::kInfo, evq,
                     effective_service[evq]);
+          if (slo != nullptr) {
+            slo->OnSprintEngage(now);
+          }
           const auto& spec = catalog.spec(q.workload);
           const double progress = (now - q.start) / effective_service[evq];
           sustained_remaining_at_sprint[evq] =
@@ -614,6 +644,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       trace.makespan > 0.0
           ? static_cast<double>(trace.goodput_count) / trace.makespan
           : 0.0;
+  if (slo != nullptr) {
+    slo->Finish(trace.makespan);
+  }
   if (metrics != nullptr) {
     metrics->GetCounter("testbed/runs").Increment();
     metrics->GetCounter("testbed/queries").Add(trace.queries.size());

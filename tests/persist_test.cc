@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/fileio.h"
+#include "src/obs/slo.h"
 #include "src/online/advisor.h"
 #include "src/persist/checkpoint.h"
 #include "src/persist/corruption.h"
@@ -511,6 +512,32 @@ void WarmUp(OnlineAdvisor& advisor) {
   }
 }
 
+// A deterministically fed SLO pipeline with mid-window state, so the
+// checkpoint's "slo" section carries sketches, masks and alert state.
+obs::SloConfig FixtureSloConfig() {
+  obs::SloConfig config;
+  config.window_seconds = 30.0;
+  obs::SloObjective objective;
+  objective.signal = obs::SloSignal::kP99;
+  objective.op = obs::SloOp::kLt;
+  objective.threshold = 60.0;
+  objective.budget = 0.2;
+  config.objectives.push_back(objective);
+  obs::SloAnomalyConfig anomaly;
+  anomaly.signal = obs::SloSignal::kQueueDepth;
+  anomaly.warmup_windows = 3;
+  config.anomalies.push_back(anomaly);
+  return config;
+}
+
+void FeedSloPipeline(obs::SloPipeline& slo, double from, double to) {
+  for (double t = from; t < to; t += 7.0) {
+    slo.OnArrival(t);
+    slo.OnResponse(t + 3.0, 40.0 + 30.0 * std::sin(t), true);
+    slo.OnQueueDepth(t + 4.0, 1.0 + std::fmod(t, 5.0));
+  }
+}
+
 struct CheckpointFixture {
   WorkloadProfile profile = CheckpointProfile();
   HybridModel model = HybridModel::Train({&profile});
@@ -522,8 +549,12 @@ struct CheckpointFixture {
   std::string SaveBytes(const std::string& path) {
     WarmUp(advisor);
     budget.ConsumeUpTo(600.0, 77.7);
+    // Every fixture checkpoint carries an SLO section so the corruption
+    // harness downstream fuzzes its payload alongside the older sections.
+    obs::SloPipeline slo(FixtureSloConfig());
+    FeedSloPipeline(slo, 0.0, 500.0);
     persist::SaveCheckpointToFile(path, profile, model, config, advisor,
-                                  budget, drive);
+                                  budget, drive, nullptr, nullptr, &slo);
     return ReadFileBytes(path);
   }
 };
@@ -657,6 +688,60 @@ TEST(CheckpointTest, OverloadSectionsAreOptionalAndRoundTrip) {
     } catch (const PersistError&) {
     }
   }
+}
+
+TEST(CheckpointTest, SloSectionIsOptionalAndRoundTripsBitExactly) {
+  CheckpointFixture fx;
+  const std::string path = "/tmp/msprint_checkpoint_slo.msp";
+
+  // A checkpoint saved without a pipeline has no slo section.
+  WarmUp(fx.advisor);
+  persist::SaveCheckpointToFile(path, fx.profile, fx.model, fx.config,
+                                fx.advisor, fx.budget, fx.drive);
+  EXPECT_FALSE(persist::LoadCheckpointFromFile(path).slo.has_value());
+
+  // With one, the full pipeline state — sketches, open window, closed
+  // ring, alert and anomaly state — restores bit-exactly.
+  obs::SloPipeline slo(FixtureSloConfig());
+  FeedSloPipeline(slo, 0.0, 500.0);
+  persist::SaveCheckpointToFile(path, fx.profile, fx.model, fx.config,
+                                fx.advisor, fx.budget, fx.drive, nullptr,
+                                nullptr, &slo);
+  persist::LoadedCheckpoint loaded = persist::LoadCheckpointFromFile(path);
+  ASSERT_TRUE(loaded.slo.has_value());
+  EXPECT_EQ(loaded.slo->SaveState(), slo.SaveState());
+  EXPECT_EQ(loaded.slo->FormatTimeline(), slo.FormatTimeline());
+}
+
+// The warm-restart contract for telemetry: interrupt a drive mid-window,
+// checkpoint, restore, feed the rest — the timeline and summary are
+// byte-identical to a drive that was never interrupted.
+TEST(CheckpointTest, ResumedSloPipelineReproducesTimelineByteForByte) {
+  CheckpointFixture fx;
+  WarmUp(fx.advisor);
+  const std::string path = "/tmp/msprint_checkpoint_slo_resume.msp";
+
+  obs::SloPipeline uninterrupted(FixtureSloConfig());
+  FeedSloPipeline(uninterrupted, 0.0, 1000.0);
+  uninterrupted.Finish(1000.0);
+
+  obs::SloPipeline first_half(FixtureSloConfig());
+  FeedSloPipeline(first_half, 0.0, 473.0);  // cut mid-window
+  persist::SaveCheckpointToFile(path, fx.profile, fx.model, fx.config,
+                                fx.advisor, fx.budget, fx.drive, nullptr,
+                                nullptr, &first_half);
+  persist::LoadedCheckpoint loaded = persist::LoadCheckpointFromFile(path);
+  ASSERT_TRUE(loaded.slo.has_value());
+  // FeedSloPipeline steps t by 7 from 0, so the cut at 473 saw its last
+  // event batch at t = 469; resuming from 476 continues the exact event
+  // stream the uninterrupted pipeline consumed.
+  obs::SloPipeline resumed = std::move(*loaded.slo);
+  FeedSloPipeline(resumed, 476.0, 1000.0);
+  resumed.Finish(1000.0);
+
+  EXPECT_EQ(resumed.FormatTimeline(), uninterrupted.FormatTimeline());
+  EXPECT_EQ(resumed.FormatSummary(), uninterrupted.FormatSummary());
+  EXPECT_GT(resumed.windows_closed(), 20u);
 }
 
 TEST(CheckpointTest, AdvisorRestoreIsAllOrNothing) {

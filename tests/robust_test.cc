@@ -313,6 +313,24 @@ TEST(StormTest, ProtectionSustainsGoodputThroughTheStorm) {
   EXPECT_NE(text.find("side baseline"), std::string::npos);
   EXPECT_NE(text.find("side hardened"), std::string::npos);
   EXPECT_NE(text.find("goodput_ratio"), std::string::npos);
+
+  // Streaming SLO telemetry (DESIGN.md §15) tells the two arms apart in
+  // alerting behavior, not just throughput: both page during the crowd,
+  // but the hardened server clears every alert and spends only a sliver
+  // of its windows paging, while the unprotected baseline fires and
+  // never clears — the metastable tail keeps it paging to the end.
+  EXPECT_GE(report.hardened.first_alert_seconds, 0.0);
+  EXPECT_GE(report.hardened.alert_fires, 1u);
+  EXPECT_EQ(report.hardened.alert_clears, report.hardened.alert_fires);
+  EXPECT_LT(report.hardened.paging_fraction, 0.2);
+  EXPECT_GE(report.baseline.first_alert_seconds, 0.0);
+  EXPECT_GT(report.baseline.alert_fires, report.baseline.alert_clears);
+  EXPECT_GT(report.baseline.paging_fraction, 0.5);
+  // Time-to-first-alert: the protected arm notices the storm no later
+  // than the collapsing baseline does.
+  EXPECT_LE(report.hardened.first_alert_seconds,
+            report.baseline.first_alert_seconds);
+  EXPECT_NE(text.find("slo first_alert"), std::string::npos);
 }
 
 }  // namespace

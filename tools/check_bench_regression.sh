@@ -11,9 +11,12 @@
 # Every BENCH_*.json in <artifact-dir> that has a same-named committed
 # baseline is compared metric by metric; artifacts without a baseline (the
 # figure benches export error metrics, not throughput) are listed and
-# skipped. A baseline metric missing from the fresh run is a failure: a
-# renamed or deleted benchmark must come with a baseline refresh
-# (tools/update_baselines.sh --bench).
+# skipped. The gate is append-only in both directions: a baseline metric
+# missing from the fresh run is a failure, and so is a committed baseline
+# file with no fresh artifact at all — a renamed or deleted benchmark (or
+# a bench binary dropped from the CI run) must come with a baseline
+# refresh (tools/update_baselines.sh --bench), never a silent shrink of
+# coverage.
 #
 # The per-bench delta table goes to stdout and, when $GITHUB_STEP_SUMMARY
 # is set, to the job summary as a markdown table.
@@ -54,6 +57,15 @@ rows = []      # (bench, baseline_ns, current_ns, ratio, status)
 skipped = []
 failures = 0
 compared_files = 0
+
+# File-level append-only check first: every committed baseline must have
+# a same-named fresh artifact, or the run silently lost bench coverage.
+missing_files = []
+for baseline_path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
+    name = os.path.basename(baseline_path)
+    if not os.path.exists(os.path.join(current_dir, name)):
+        missing_files.append(name)
+        failures += 1
 
 for current_path in sorted(glob.glob(os.path.join(current_dir, "BENCH_*.json"))):
     name = os.path.basename(current_path)
@@ -101,6 +113,8 @@ print(f"\ntolerance: {max_slowdown:.2f}x ns/iter "
       f"(qps drop > {(1.0 - 1.0 / max_slowdown) * 100.0:.0f}% fails)")
 for name in skipped:
     print(f"skipped (no committed baseline): {name}")
+for name in missing_files:
+    print(f"MISSING artifact for committed baseline: {name}", file=sys.stderr)
 
 summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
 if summary_path:

@@ -64,10 +64,20 @@
 //       baselines) field by field and print a byte-stable delta report.
 //       Exits 3 when any delta breaches the thresholds.
 //
+//   msprint slo [--objectives F.slo] [--window S --capacity N]
+//       [--format text|jsonl] [--storm F.storm --side hardened|baseline]
+//       Run a seeded testbed (faults flags, or one side of a committed
+//       storm scenario) with the streaming SLO pipeline attached and
+//       print the byte-stable per-window timeline plus the burn-rate
+//       alert / anomaly summary. Exits 6 when any objective burns
+//       through its lifetime error budget. `msprint watch` renders the
+//       same run as a per-window p99 bar chart with alert markers.
+//
 // Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
-// unknown command), 3 obs-diff threshold breach. `msprint help` / `--help`
-// print usage on stdout and exit 0; a bad invocation prints usage on
-// stderr and exits 2.
+// unknown command), 3 obs-diff threshold breach, 4 mc invariant
+// violation, 5 storm goodput-ratio gate breach, 6 slo error-budget
+// burn-through. `msprint help` / `--help` print usage on stdout and exit
+// 0; a bad invocation prints usage on stderr and exits 2.
 
 #include <cmath>
 #include <fstream>
@@ -91,6 +101,7 @@
 #include "src/obs/diff.h"
 #include "src/obs/export.h"
 #include "src/obs/obs.h"
+#include "src/obs/slo.h"
 #include "src/online/advisor.h"
 #include "src/persist/checkpoint.h"
 #include "src/profiler/profile_io.h"
@@ -934,6 +945,78 @@ int CmdStorm(const Flags& flags) {
   return 0;
 }
 
+// --------------------------------------------- streaming SLO telemetry
+
+// Shared driver of the `slo` and `watch` verbs (DESIGN.md §15): runs the
+// fault-capable testbed (the same flags `msprint faults` takes, or one
+// side of a committed .storm scenario via --storm) with an SloPipeline
+// attached, then prints the byte-stable window timeline (or the watch
+// rendering) followed by the summary. Exits 6 when any objective burned
+// through its lifetime error budget.
+int RunSloCommand(const Flags& flags, bool watch) {
+  obs::SloConfig slo_config;
+  if (flags.Has("objectives")) {
+    slo_config =
+        obs::ParseSloObjectives(ReadFileOrThrow(flags.GetString("objectives")));
+  }
+  // Quick overrides; committed objectives files stay the source of truth.
+  if (flags.Has("window")) {
+    slo_config.window_seconds = flags.GetDouble("window");
+  }
+  if (flags.Has("capacity")) {
+    slo_config.timeline_capacity =
+        flags.GetSize("capacity", slo_config.timeline_capacity);
+  }
+
+  TestbedConfig config;
+  if (flags.Has("storm")) {
+    const robust::StormConfig storm =
+        robust::ParseStormConfig(ReadFileOrThrow(flags.GetString("storm")));
+    const std::string side = flags.GetString("side", "hardened");
+    if (side != "hardened" && side != "baseline") {
+      throw FlagError("side",
+                      "expected hardened|baseline, got '" + side + "'");
+    }
+    config = robust::MakeStormTestbedConfig(storm, side == "hardened");
+  } else {
+    config = TestbedConfigFromFlags(flags);
+  }
+
+  obs::SloPipeline pipeline(slo_config);
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder;
+  {
+    obs::ObsSession session(&metrics, &recorder, nullptr, &pipeline);
+    (void)Testbed::Run(config);  // Run() finishes the attached pipeline.
+  }
+
+  const std::string format = flags.GetString("format", "text");
+  std::string timeline;
+  if (watch) {
+    timeline = pipeline.FormatWatch();
+  } else if (format == "text") {
+    timeline = pipeline.FormatTimeline();
+  } else if (format == "jsonl") {
+    timeline = pipeline.FormatTimelineJsonl();
+  } else {
+    throw FlagError("format", "expected text|jsonl, got '" + format + "'");
+  }
+  std::cout << timeline << pipeline.FormatSummary();
+  if (flags.Has("out")) {
+    AtomicWriteFile(flags.GetString("out"),
+                    timeline + pipeline.FormatSummary());
+  }
+  if (pipeline.BurnedThrough()) {
+    std::cerr << "slo: error budget burned through\n";
+    return 6;
+  }
+  return 0;
+}
+
+int CmdSlo(const Flags& flags) { return RunSloCommand(flags, /*watch=*/false); }
+
+int CmdWatch(const Flags& flags) { return RunSloCommand(flags, /*watch=*/true); }
+
 void PrintUsage(std::ostream& out) {
   out <<
       "usage: msprint <command> [--flags]\n"
@@ -984,10 +1067,22 @@ void PrintUsage(std::ostream& out) {
       "            retry storm against the unprotected baseline and the\n"
       "            admission-controlled hardened server; exit 5 when the\n"
       "            hardened/baseline goodput ratio falls below X)\n"
+      "  slo       [--objectives F.slo --window S --capacity N\n"
+      "            --format text|jsonl --out F\n"
+      "            --storm F.storm --side hardened|baseline | <faults\n"
+      "            flags>]   (streaming SLO telemetry of a seeded run:\n"
+      "            byte-stable per-window timeline — quantile sketches,\n"
+      "            goodput, shed, queue depth, sprint engages, budget —\n"
+      "            plus burn-rate alert + anomaly summary; exit 6 when an\n"
+      "            objective burns through its lifetime error budget)\n"
+      "  watch     [same flags as slo]   (render the same run as a\n"
+      "            terminal-friendly per-window p99 bar chart with alert\n"
+      "            markers; same exit-6 burn-through contract)\n"
       "  help                          print this message\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
       "            3 obs-diff threshold breach, 4 mc invariant violation,\n"
-      "            5 storm goodput-ratio gate breach\n";
+      "            5 storm goodput-ratio gate breach,\n"
+      "            6 slo error-budget burn-through\n";
 }
 
 }  // namespace
@@ -1060,6 +1155,12 @@ int main(int argc, char** argv) {
     }
     if (command == "storm") {
       return CmdStorm(flags);
+    }
+    if (command == "slo") {
+      return CmdSlo(flags);
+    }
+    if (command == "watch") {
+      return CmdWatch(flags);
     }
     if (command == "explain") {
       return CmdExplain(flags);
