@@ -23,9 +23,11 @@
 #include "src/core/event_queue.h"
 #include "src/core/models.h"
 #include "src/ml/neural_net.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/obs.h"
 #include "src/obs/sketch.h"
 #include "src/obs/slo.h"
+#include "src/obs/whatif/whatif.h"
 #include "src/sim/tick_simulator.h"
 #include "src/testbed/testbed.h"
 
@@ -129,6 +131,34 @@ void BM_TestbedRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TestbedRun)->Arg(1000)->Arg(10000);
+
+// One whatif fan-out on the serial pool: a base run plus two knob
+// experiments over a 300-query testbed (span collection on for every
+// run). Bounds the full counterfactual loop — perturb, rerun, summarize
+// spans, predict, rank — at roughly 3x an instrumented testbed run of the
+// same size.
+void BM_WhatifExperiment(benchmark::State& state) {
+  whatif::Scenario scenario;
+  scenario.engine = whatif::Engine::kTestbed;
+  scenario.testbed.mix = QueryMix::Single(WorkloadId::kJacobi);
+  scenario.testbed.policy.mechanism = MechanismId::kDvfs;
+  scenario.testbed.utilization = 0.8;
+  scenario.testbed.num_queries = 300;
+  scenario.testbed.warmup_queries = 30;
+  scenario.testbed.seed = 3;
+  const whatif::Plan plan = whatif::PlanExperiments(
+      scenario, {whatif::Knob::kServiceRate, whatif::Knob::kSprintTimeout},
+      {1.0});
+  ThreadPool serial(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        whatif::RunWhatif(scenario, plan, &serial).BestRelativeGain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (plan.experiments.size() + 1) *
+                          scenario.testbed.num_queries);
+}
+BENCHMARK(BM_WhatifExperiment);
 
 Dataset SyntheticDataset(size_t rows) {
   Dataset data(ModelFeatureNames());

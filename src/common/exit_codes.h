@@ -1,0 +1,34 @@
+// The process exit-code ladder shared by every msprint verb.
+//
+// The ladder is a public contract: CI scripts, the README and the usage
+// text all key off these values, and tests/cli_test.cc sweeps every
+// verb's error paths against them. Append-only — a new gate gets the
+// next rung; existing rungs never renumber.
+
+#ifndef MSPRINT_SRC_COMMON_EXIT_CODES_H_
+#define MSPRINT_SRC_COMMON_EXIT_CODES_H_
+
+namespace msprint {
+
+// 0: the verb did what was asked.
+inline constexpr int kExitOk = 0;
+// 1: runtime failure (missing file, malformed input file, engine error).
+inline constexpr int kExitRuntime = 1;
+// 2: usage error — unknown command, or a bad flag reported as
+// `flag <name>: <reason>` on stderr.
+inline constexpr int kExitUsage = 2;
+// 3: `obs-diff` found a delta breaching its thresholds.
+inline constexpr int kExitObsDiffBreach = 3;
+// 4: the model checker (or a trace replay) hit an invariant violation.
+inline constexpr int kExitMcViolation = 4;
+// 5: `storm --require-ratio` unmet (hardened/baseline goodput gate).
+inline constexpr int kExitStormGate = 5;
+// 6: an SLO objective burned through its lifetime error budget.
+inline constexpr int kExitSloBurnThrough = 6;
+// 7: `whatif --require-gain` unmet — no counterfactual experiment
+// recovered the required relative objective gain.
+inline constexpr int kExitWhatifNoGain = 7;
+
+}  // namespace msprint
+
+#endif  // MSPRINT_SRC_COMMON_EXIT_CODES_H_

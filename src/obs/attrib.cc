@@ -255,5 +255,63 @@ std::string FormatAttribution(const AttributionReport& report,
   return out;
 }
 
+std::string FormatAttributionJson(const AttributionReport& report) {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"queries\":%" PRIu64 ",\"sprinted\":%" PRIu64
+                ",\"timed_out\":%" PRIu64 ",\"sprint_aborted\":%" PRIu64
+                ",\"identity_violations\":%" PRIu64,
+                report.num_queries, report.sprinted, report.timed_out,
+                report.sprint_aborted, report.identity_violations);
+  out += buf;
+  out += ",\"total_response_s\":" +
+         StableDouble(SecondsFromTicks(report.total_response_ticks));
+  out += ",\"max_response_s\":" +
+         StableDouble(SecondsFromTicks(report.max_response_ticks));
+  out += ",\"components\":[";
+  for (size_t i = 0; i < kNumSpanComponents; ++i) {
+    const ComponentAggregate& agg = report.components[i];
+    const double frac =
+        report.total_response_ticks == 0
+            ? 0.0
+            : static_cast<double>(agg.total_ticks) /
+                  static_cast<double>(report.total_response_ticks);
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + ComponentName(i) + "\"";
+    out += ",\"total_s\":" + StableDouble(SecondsFromTicks(agg.total_ticks));
+    out += ",\"min_s\":" + StableDouble(SecondsFromTicks(agg.min_ticks));
+    out += ",\"max_s\":" + StableDouble(SecondsFromTicks(agg.max_ticks));
+    std::snprintf(buf, sizeof(buf), ",\"critical\":%" PRIu64, agg.critical);
+    out += buf;
+    out += ",\"frac\":" + StableDouble(frac) + "}";
+  }
+  out += "],\"slowest\":[";
+  for (size_t s = 0; s < report.slowest.size(); ++s) {
+    const QuerySpan& span = report.slowest[s];
+    if (s > 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%" PRIu64 ",\"class\":%" PRIu32
+                  ",\"response_s\":%s,\"sprinted\":%s,\"timed_out\":%s"
+                  ",\"sprint_aborted\":%s,\"identity_exact\":%s",
+                  span.id, span.klass,
+                  FormatTicksSeconds(span.ResponseTicks()).c_str(),
+                  span.sprinted ? "true" : "false",
+                  span.timed_out ? "true" : "false",
+                  span.sprint_aborted ? "true" : "false",
+                  span.IdentityHolds() ? "true" : "false");
+    out += buf;
+    out += ",\"components\":{";
+    for (size_t i = 0; i < kNumSpanComponents; ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + ComponentName(i) +
+             "\":" + FormatTicksSeconds(span.components[i]);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace obs
 }  // namespace msprint

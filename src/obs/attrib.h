@@ -82,6 +82,14 @@ std::string FormatSpanTree(const QuerySpan& span);
 std::string FormatAttribution(const AttributionReport& report,
                               const std::string& prefix = "span");
 
+// Byte-stable single-object JSON rendering of the same report for
+// programmatic consumers (`msprint explain --format json`): counts, total
+// and max response seconds, one object per component (total/min/max
+// seconds, critical count, fraction of total response), and the top-K
+// slowest spans with their signed components. Component names follow the
+// append-only span taxonomy.
+std::string FormatAttributionJson(const AttributionReport& report);
+
 }  // namespace obs
 }  // namespace msprint
 

@@ -109,7 +109,8 @@ SimResult SimulateQueue(const SimConfig& config,
         throw std::invalid_argument("arrival trace must be ascending");
       }
       q.arrival[i] = trace[i];
-      q.service_time[i] = std::max(1e-9, config.service->Sample(rng));
+      q.service_time[i] = std::max(1e-9, config.service->Sample(rng)) *
+                          config.service_time_scale;
     }
   } else {
     const auto interarrival = MakeDistribution(
@@ -118,7 +119,8 @@ SimResult SimulateQueue(const SimConfig& config,
     for (size_t i = 0; i < n; ++i) {
       t += interarrival->Sample(rng);
       q.arrival[i] = t;
-      q.service_time[i] = std::max(1e-9, config.service->Sample(rng));
+      q.service_time[i] = std::max(1e-9, config.service->Sample(rng)) *
+                          config.service_time_scale;
     }
   }
 
@@ -318,9 +320,14 @@ SimResult SimulateQueue(const SimConfig& config,
   // Span recording needs the explicit opt-in on top of an attached
   // collector: simulations also run on pool workers while an ObsSession is
   // live, and spans — like flight-recorder events — may only come from
-  // serial deterministic call sites.
-  if (config.record_spans) {
-    if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
+  // serial deterministic call sites. An explicit span_sink bypasses the
+  // global session entirely (whatif reruns on workers collect locally).
+  {
+    obs::SpanCollector* span_sink =
+        config.span_sink != nullptr
+            ? config.span_sink
+            : (config.record_spans ? obs::ActiveSpans() : nullptr);
+    if (span_sink != nullptr) {
       std::vector<obs::SpanInputs> inputs;
       inputs.reserve(n - first);
       for (size_t i = first; i < n; ++i) {

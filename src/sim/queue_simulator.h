@@ -28,6 +28,10 @@
 
 namespace msprint {
 
+namespace obs {
+class SpanCollector;
+}  // namespace obs
+
 // Everything the predictive simulator needs to know. Note there is no
 // workload or mechanism here: the simulator sees only rates, a timeout and
 // a budget, exactly as in Figure 2's "timeout-aware queue simulator" box.
@@ -85,6 +89,16 @@ struct SimConfig {
   // record_spans: the pipeline is serial-only, so only serial call sites
   // may set this.
   bool record_timeline = false;
+
+  // Counterfactual perturbation hook (src/obs/whatif; DESIGN.md §16):
+  // multiplies every sampled service time. The 1.0 default is a bitwise
+  // identity, so unperturbed configs replay byte-identically.
+  double service_time_scale = 1.0;
+
+  // When set, post-warmup spans are recorded here regardless of
+  // record_spans — the whatif executor's way of collecting spans on pool
+  // workers without touching the process-global ObsSession.
+  obs::SpanCollector* span_sink = nullptr;
 };
 
 // Per-query record emitted by a simulation.

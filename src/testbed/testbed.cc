@@ -119,6 +119,29 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   const auto mechanism = MakePolicyMechanism(config.policy);
   const auto& catalog = WorkloadCatalog::Get();
 
+  // Whatif perturbation hooks. toggle_latency is charged at every engage
+  // and abort site below; the scale's 1.0 default is a bitwise identity.
+  const double toggle_latency =
+      mechanism->ToggleLatencySeconds() * config.toggle_latency_scale;
+  // Sprinted remaining time with the sprint_boost hook applied: the time a
+  // sprint saves (sustained remaining minus the mechanism's sprinted
+  // remaining) is scaled by the boost. Gated on != 1.0 because
+  // `a - (a - b)` is not bitwise `b` in floating point.
+  auto sprinted_remaining = [&](const WorkloadSpec& spec, double progress,
+                                double sustained_total) {
+    double remaining =
+        Testbed::SprintedRemainingSeconds(spec, *mechanism, progress,
+                                          sustained_total);
+    if (config.sprint_boost != 1.0) {
+      const double sustained_remaining =
+          (1.0 - std::clamp(progress, 0.0, 1.0)) * sustained_total;
+      remaining = std::max(
+          0.0, sustained_remaining -
+                   (sustained_remaining - remaining) * config.sprint_boost);
+    }
+    return remaining;
+  };
+
   Rng rng(config.seed);
   // The generation loop consumes the whole stream up front; batched
   // refills amortize the generator state updates without changing draws.
@@ -176,7 +199,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         cached.jitter.emplace(cached.mean_service,
                               std::max(0.05, cached.spec->service_cov));
       }
-      q.service_time = std::max(1e-6, cached.jitter->Sample(rng));
+      q.service_time =
+          std::max(1e-6, cached.jitter->Sample(rng)) *
+          config.service_time_scale;
       q.size = q.service_time / cached.mean_service;
     }
   }
@@ -311,9 +336,8 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
       q.timed_out = true;
       q.sprinted = true;
       q.sprint_begin = now;
-      schedule_departure(qi, now + SprintedRemainingSeconds(
-                                       spec, *mechanism, 0.0,
-                                       effective_service[qi]));
+      schedule_departure(
+          qi, now + sprinted_remaining(spec, 0.0, effective_service[qi]));
       return;
     }
 
@@ -331,11 +355,10 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
         sustained_remaining_at_sprint[qi] = effective_service[qi];
         // Sprint engages as the query starts; the toggle happens during
         // dispatch and is cheaper than a mid-flight toggle, but not free.
-        span_toggle_seconds[qi] = 0.5 * mechanism->ToggleLatencySeconds();
+        span_toggle_seconds[qi] = 0.5 * toggle_latency;
         const double duration =
-            0.5 * mechanism->ToggleLatencySeconds() +
-            SprintedRemainingSeconds(spec, *mechanism, 0.0,
-                                     effective_service[qi]);
+            0.5 * toggle_latency +
+            sprinted_remaining(spec, 0.0, effective_service[qi]);
         schedule_departure(qi, now + duration);
         return;
       }
@@ -423,10 +446,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           (1.0 - done_fraction) * sustained_remaining_at_sprint[qi];
       sprint_aborted[qi] = 1;
       q.sprint_seconds = elapsed;
-      span_toggle_seconds[qi] += mechanism->ToggleLatencySeconds();
+      span_toggle_seconds[qi] += toggle_latency;
       budget.ConsumeAllowingDebt(now, elapsed);
-      schedule_departure(qi, now + mechanism->ToggleLatencySeconds() +
-                                 remaining_sustained);
+      schedule_departure(qi, now + toggle_latency + remaining_sustained);
       injector.RecordSprintAbort(qi, now);
       obs::Emit(now, obs::EventKind::kSprintAbort, obs::Subsystem::kTestbed,
                 obs::Severity::kWarn, qi, elapsed);
@@ -538,11 +560,10 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
           sustained_remaining_at_sprint[evq] =
               (1.0 - std::clamp(progress, 0.0, 1.0)) *
               effective_service[evq];
-          span_toggle_seconds[evq] = mechanism->ToggleLatencySeconds();
+          span_toggle_seconds[evq] = toggle_latency;
           const double duration =
-              mechanism->ToggleLatencySeconds() +
-              SprintedRemainingSeconds(spec, *mechanism, progress,
-                                       effective_service[evq]);
+              toggle_latency +
+              sprinted_remaining(spec, progress, effective_service[evq]);
           schedule_departure(evq, now + duration);
         }
         break;
@@ -678,7 +699,9 @@ RunTrace Testbed::Run(const TestbedConfig& config) {
   // query (the same slice as trace.queries, in id order) into exact causal
   // components. Serial code, sim-time stamps, one batch append — the run
   // pays nothing when no collector is attached.
-  if (obs::SpanCollector* span_sink = obs::ActiveSpans()) {
+  obs::SpanCollector* span_sink =
+      config.span_sink != nullptr ? config.span_sink : obs::ActiveSpans();
+  if (span_sink != nullptr) {
     // Per-workload phase fractions, fetched once; SpanInputs keep stable
     // pointers into this cache so the whole sweep can quantize in one
     // batch call.

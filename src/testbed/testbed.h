@@ -35,6 +35,10 @@
 
 namespace msprint {
 
+namespace obs {
+class SpanCollector;
+}  // namespace obs
+
 // One profiling run's configuration (the "workload conditions" half of the
 // model inputs).
 struct TestbedConfig {
@@ -70,6 +74,28 @@ struct TestbedConfig {
   // everything and never retry — the historical arrival path, bit-exact.
   robust::AdmissionConfig admission;
   robust::RetryConfig retry;
+
+  // Counterfactual perturbation hooks (src/obs/whatif; DESIGN.md §16).
+  // The defaults are exact identities — `x * 1.0` is bitwise `x`, and
+  // sprint_boost gates its rewrite on `!= 1.0` — so an unperturbed config
+  // replays byte-identically to a config without these fields.
+  //
+  // Multiplies every sampled sustained service time (a service-rate
+  // perturbation of 1/scale).
+  double service_time_scale = 1.0;
+  // Multiplies the mechanism's toggle latency everywhere it is charged.
+  double toggle_latency_scale = 1.0;
+  // Multiplies the wall-clock time each engaged sprint *saves* (sustained
+  // remaining minus sprinted remaining); 2.0 means sprints recover twice
+  // the time, 0.5 half. Clamped so a boosted sprint never finishes in
+  // negative time.
+  double sprint_boost = 1.0;
+
+  // When set, the post-run span sweep records into this collector instead
+  // of consulting obs::ActiveSpans() — lets counterfactual reruns on pool
+  // workers collect spans without touching the process-global ObsSession
+  // (which is reserved for serial call sites).
+  obs::SpanCollector* span_sink = nullptr;
 };
 
 // Everything the profiler captures about one run (Section 2.1: "response

@@ -73,11 +73,26 @@
 //       through its lifetime error budget. `msprint watch` renders the
 //       same run as a per-window p99 bar chart with alert markers.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flag or
-// unknown command), 3 obs-diff threshold breach, 4 mc invariant
-// violation, 5 storm goodput-ratio gate breach, 6 slo error-budget
-// burn-through. `msprint help` / `--help` print usage on stdout and exit
-// 0; a bad invocation prints usage on stderr and exits 2.
+//   msprint whatif [--storm F.storm --side hardened|baseline | <faults
+//       flags>] [--knobs k1,k2 --deltas d1,d2 --objectives F.slo
+//       --save F --load F --format text|jsonl --out F --require-gain X]
+//       Causal what-if profiler: rerun the same seeded scenario under a
+//       grid of knob perturbations (toggle latency, service/sprint rates,
+//       sprint timeout, breaker cooldown, retry backoff, admission
+//       threshold, SLO window) and print, per experiment, the first-order
+//       analytic prediction from the span telescoping sum, the exact
+//       measured delta from the counterfactual rerun, and the model
+//       error; knobs ranked by marginal gain per unit virtual speedup.
+//       Byte-identical output for any --threads / MSPRINT_THREADS. Exits
+//       7 when --require-gain X is given and no experiment improves mean
+//       response time by the fraction X.
+//
+// Exit codes (src/common/exit_codes.h): 0 success, 1 runtime failure,
+// 2 usage error (bad flag or unknown command), 3 obs-diff threshold
+// breach, 4 mc invariant violation, 5 storm goodput-ratio gate breach,
+// 6 slo error-budget burn-through, 7 whatif required-gain unmet.
+// `msprint help` / `--help` print usage on stdout and exit 0; a bad
+// invocation prints usage on stderr and exits 2.
 
 #include <cmath>
 #include <fstream>
@@ -92,6 +107,7 @@
 
 #include <filesystem>
 
+#include "src/common/exit_codes.h"
 #include "src/common/fileio.h"
 #include "src/core/analytic_model.h"
 #include "src/core/effective_rate.h"
@@ -102,6 +118,7 @@
 #include "src/obs/export.h"
 #include "src/obs/obs.h"
 #include "src/obs/slo.h"
+#include "src/obs/whatif/whatif.h"
 #include "src/online/advisor.h"
 #include "src/persist/checkpoint.h"
 #include "src/profiler/profile_io.h"
@@ -170,7 +187,9 @@ class Flags {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        throw std::runtime_error("expected --flag, got: " + arg);
+        // A stray positional is a bad invocation (exit 2), not a runtime
+        // failure — same contract as every other malformed flag.
+        throw FlagError(arg, "expected a --flag argument");
       }
       arg = arg.substr(2);
       if (IsBooleanFlag(arg)) {
@@ -227,6 +246,41 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+// Converts a value parser's failure into a FlagError so a bad flag VALUE
+// (unknown workload name, malformed .storm/.slo file contents, ...) exits
+// 2 like every other usage error, instead of drifting to exit 1. A
+// missing/unreadable FILE stays a runtime failure — wrap only the parse,
+// not the read.
+template <typename Fn>
+auto ParseFlagValue(const std::string& name, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const FlagError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw FlagError(name, error.what());
+  }
+}
+
+WorkloadId WorkloadIdFlag(const Flags& flags, const std::string& name,
+                          const std::string& fallback) {
+  const std::string text =
+      fallback.empty() ? flags.GetString(name) : flags.GetString(name, fallback);
+  return ParseFlagValue(name, [&] { return ParseWorkloadId(text); });
+}
+
+MechanismId MechanismIdFlag(const Flags& flags, const std::string& name,
+                            const std::string& fallback) {
+  const std::string text = flags.GetString(name, fallback);
+  return ParseFlagValue(name, [&] { return ParseMechanismId(text); });
+}
+
+DistributionKind ArrivalKindFlag(const Flags& flags) {
+  const std::string text = flags.GetString("arrival", "exponential");
+  return ParseFlagValue("arrival",
+                        [&] { return ParseDistributionKind(text); });
+}
+
 std::string ReadFileOrThrow(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -255,17 +309,16 @@ int CmdCatalog() {
 
 int CmdProfile(const Flags& flags) {
   SprintPolicy platform;
-  platform.mechanism = ParseMechanismId(flags.GetString("mechanism", "DVFS"));
+  platform.mechanism = MechanismIdFlag(flags, "mechanism", "DVFS");
   platform.throttle_fraction = flags.GetDouble("throttle", 0.2);
   platform.sprint_cpu_fraction = flags.GetDouble("sprint-cpu", 1.0);
 
-  QueryMix mix = QueryMix::Single(ParseWorkloadId(
-      flags.GetString("workload")));
+  QueryMix mix = QueryMix::Single(WorkloadIdFlag(flags, "workload", ""));
   if (flags.Has("mix-with")) {
     // Two-workload mix with a default interference factor.
     mix = QueryMix::Uniform(
-        {ParseWorkloadId(flags.GetString("workload")),
-         ParseWorkloadId(flags.GetString("mix-with"))},
+        {WorkloadIdFlag(flags, "workload", ""),
+         WorkloadIdFlag(flags, "mix-with", "")},
         flags.GetDouble("interference", 0.8));
   }
 
@@ -308,8 +361,7 @@ ModelInput InputFromFlags(const Flags& flags) {
   input.timeout_seconds = flags.GetDouble("timeout", 60.0);
   input.budget_fraction = flags.GetDouble("budget");
   input.refill_seconds = flags.GetDouble("refill", 200.0);
-  input.arrival_kind =
-      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+  input.arrival_kind = ArrivalKindFlag(flags);
   return input;
 }
 
@@ -328,7 +380,8 @@ int CmdPredict(const Flags& flags) {
   } else if (which == "analytic") {
     model = std::make_unique<AnalyticModel>();
   } else {
-    throw std::runtime_error("unknown --model: " + which);
+    throw FlagError("model", "expected hybrid|noml|analytic, got '" + which +
+                                 "'");
   }
 
   if (flags.Has("percentile")) {
@@ -339,7 +392,7 @@ int CmdPredict(const Flags& flags) {
     } else if (which == "noml") {
       value = NoMlModel().PredictResponseTimePercentile(profile, input, q);
     } else {
-      throw std::runtime_error("--percentile supports hybrid/noml only");
+      throw FlagError("percentile", "supported with --model hybrid|noml only");
     }
     std::cout << "p" << q * 100 << " response time: " << value << " s\n";
     return 0;
@@ -403,8 +456,7 @@ int CmdExplore(const Flags& flags) {
   base.utilization = flags.GetDouble("utilization");
   base.budget_fraction = flags.GetDouble("budget");
   base.refill_seconds = flags.GetDouble("refill", 200.0);
-  base.arrival_kind =
-      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+  base.arrival_kind = ArrivalKindFlag(flags);
 
   const HybridModel model = HybridModel::Train({&profile});
   ExploreConfig config;
@@ -423,10 +475,8 @@ int CmdExplore(const Flags& flags) {
 // replay.
 TestbedConfig TestbedConfigFromFlags(const Flags& flags) {
   TestbedConfig config;
-  config.mix = QueryMix::Single(
-      ParseWorkloadId(flags.GetString("workload", "Jacobi")));
-  config.policy.mechanism =
-      ParseMechanismId(flags.GetString("mechanism", "DVFS"));
+  config.mix = QueryMix::Single(WorkloadIdFlag(flags, "workload", "Jacobi"));
+  config.policy.mechanism = MechanismIdFlag(flags, "mechanism", "DVFS");
   config.policy.timeout_seconds = flags.GetDouble("timeout", 60.0);
   config.policy.budget_fraction = flags.GetDouble("budget", 0.2);
   config.policy.refill_seconds = flags.GetDouble("refill", 200.0);
@@ -459,7 +509,9 @@ TestbedConfig TestbedConfigFromFlags(const Flags& flags) {
 // invariant verdict — the `msprint faults` side of the counterexample
 // pipeline. Exit 4 when the recorded invariant violation reproduces.
 int ReplayMcTraceAsFaults(const std::string& path) {
-  const mc::TraceFile trace = mc::ParseTraceFile(ReadFileOrThrow(path));
+  const std::string text = ReadFileOrThrow(path);
+  const mc::TraceFile trace =
+      ParseFlagValue("mc-trace", [&] { return mc::ParseTraceFile(text); });
   mc::McConfig config;
   config.bug = trace.bug;
   config.overload_alphabet = trace.overload;
@@ -484,10 +536,10 @@ int ReplayMcTraceAsFaults(const std::string& path) {
   if (violation.has_value()) {
     std::cout << "# violation " << violation->invariant << ": "
               << violation->detail << "\n";
-    return 4;
+    return kExitMcViolation;
   }
   std::cout << "# violation none\n";
-  return 0;
+  return kExitOk;
 }
 
 int CmdFaults(const Flags& flags) {
@@ -593,8 +645,7 @@ AdvisorConfig AdvisorConfigFromFlags(const Flags& flags) {
   AdvisorConfig config;
   config.base.budget_fraction = flags.GetDouble("budget", 0.2);
   config.base.refill_seconds = flags.GetDouble("refill", 200.0);
-  config.base.arrival_kind =
-      ParseDistributionKind(flags.GetString("arrival", "exponential"));
+  config.base.arrival_kind = ArrivalKindFlag(flags);
   config.explore.max_iterations = flags.GetSize("iterations", 80);
   config.explore.num_chains = flags.GetSize("chains", 1);
   config.rate_window_seconds = flags.GetDouble("rate-window", 600.0);
@@ -744,8 +795,9 @@ int CmdExplain(const Flags& flags) {
   obs::AttributionOptions options;
   options.top_k = flags.GetSize("top", 5);
   const std::string format = flags.GetString("format", "text");
-  if (format != "text" && format != "chrome") {
-    throw FlagError("format", "expected text|chrome, got '" + format + "'");
+  if (format != "text" && format != "chrome" && format != "json") {
+    throw FlagError("format",
+                    "expected text|chrome|json, got '" + format + "'");
   }
 
   obs::SpanCollector collector;
@@ -803,8 +855,14 @@ int CmdExplain(const Flags& flags) {
     return 0;
   }
   const obs::AttributionReport report = obs::Attribute(spans, options);
+  if (format == "json") {
+    // One byte-stable JSON object; the `#` policy comment line has no
+    // place inside JSON, so the json rendering carries the report alone.
+    std::cout << obs::FormatAttributionJson(report) << "\n";
+    return kExitOk;
+  }
   std::cout << policy_comment << obs::FormatAttribution(report);
-  return 0;
+  return kExitOk;
 }
 
 int CmdObsDiff(const std::string& path_a, const std::string& path_b,
@@ -816,7 +874,7 @@ int CmdObsDiff(const std::string& path_a, const std::string& path_b,
   const obs::DiffResult result = obs::DiffExports(
       ReadFileOrThrow(path_a), ReadFileOrThrow(path_b), options);
   std::cout << result.report;
-  return result.breached() ? 3 : 0;
+  return result.breached() ? kExitObsDiffBreach : kExitOk;
 }
 
 // ------------------------------------------------ bounded model checking
@@ -852,7 +910,9 @@ int CmdMc(const Flags& flags) {
   // replays the same actions cleanly).
   if (flags.Has("replay")) {
     const std::string path = flags.GetString("replay");
-    mc::TraceFile trace = mc::ParseTraceFile(ReadFileOrThrow(path));
+    const std::string text = ReadFileOrThrow(path);
+    mc::TraceFile trace =
+        ParseFlagValue("replay", [&] { return mc::ParseTraceFile(text); });
     mc::McConfig config;
     config.seed = flags.GetSize("seed", config.seed);
     config.bug = flags.Has("inject-bug") ? ParseInjectedBugFlag(flags)
@@ -869,10 +929,10 @@ int CmdMc(const Flags& flags) {
     if (violation.has_value()) {
       std::cout << "violation " << violation->invariant << "\n"
                 << "violation-detail " << violation->detail << "\n";
-      return 4;
+      return kExitMcViolation;
     }
     std::cout << "violation none\n";
-    return 0;
+    return kExitOk;
   }
 
   mc::McConfig config;
@@ -906,7 +966,7 @@ int CmdMc(const Flags& flags) {
       std::cerr << "exported " << path << "\n";
     }
   }
-  return report.violation.has_value() ? 4 : 0;
+  return report.violation.has_value() ? kExitMcViolation : kExitOk;
 }
 
 // ------------------------------------------------------ overload storms
@@ -919,8 +979,9 @@ int CmdMc(const Flags& flags) {
 int CmdStorm(const Flags& flags) {
   robust::StormConfig config;
   if (flags.Has("config")) {
-    config =
-        robust::ParseStormConfig(ReadFileOrThrow(flags.GetString("config")));
+    const std::string text = ReadFileOrThrow(flags.GetString("config"));
+    config = ParseFlagValue(
+        "config", [&] { return robust::ParseStormConfig(text); });
   }
   // Quick overrides for sweeps; committed .storm files stay the source of
   // truth for the CI replays.
@@ -939,10 +1000,10 @@ int CmdStorm(const Flags& flags) {
       std::cerr << "storm: goodput ratio "
                 << obs::StableDouble(report.goodput_ratio)
                 << " below required " << obs::StableDouble(required) << "\n";
-      return 5;
+      return kExitStormGate;
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 // --------------------------------------------- streaming SLO telemetry
@@ -956,8 +1017,9 @@ int CmdStorm(const Flags& flags) {
 int RunSloCommand(const Flags& flags, bool watch) {
   obs::SloConfig slo_config;
   if (flags.Has("objectives")) {
-    slo_config =
-        obs::ParseSloObjectives(ReadFileOrThrow(flags.GetString("objectives")));
+    const std::string text = ReadFileOrThrow(flags.GetString("objectives"));
+    slo_config = ParseFlagValue(
+        "objectives", [&] { return obs::ParseSloObjectives(text); });
   }
   // Quick overrides; committed objectives files stay the source of truth.
   if (flags.Has("window")) {
@@ -970,8 +1032,9 @@ int RunSloCommand(const Flags& flags, bool watch) {
 
   TestbedConfig config;
   if (flags.Has("storm")) {
-    const robust::StormConfig storm =
-        robust::ParseStormConfig(ReadFileOrThrow(flags.GetString("storm")));
+    const std::string text = ReadFileOrThrow(flags.GetString("storm"));
+    const robust::StormConfig storm = ParseFlagValue(
+        "storm", [&] { return robust::ParseStormConfig(text); });
     const std::string side = flags.GetString("side", "hardened");
     if (side != "hardened" && side != "baseline") {
       throw FlagError("side",
@@ -1008,14 +1071,130 @@ int RunSloCommand(const Flags& flags, bool watch) {
   }
   if (pipeline.BurnedThrough()) {
     std::cerr << "slo: error budget burned through\n";
-    return 6;
+    return kExitSloBurnThrough;
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdSlo(const Flags& flags) { return RunSloCommand(flags, /*watch=*/false); }
 
 int CmdWatch(const Flags& flags) { return RunSloCommand(flags, /*watch=*/true); }
+
+// ------------------------------------------------ causal what-if profiler
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> items;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) {
+      items.push_back(text.substr(begin, end - begin));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return items;
+}
+
+// Shared report print + --save/--out/--require-gain tail of the whatif
+// verb (used both for fresh runs and for --load of a persisted report).
+int EmitWhatifReport(const whatif::Report& report, const Flags& flags) {
+  const std::string format = flags.GetString("format", "text");
+  std::string text;
+  if (format == "text") {
+    text = whatif::FormatReport(report);
+  } else if (format == "jsonl") {
+    text = whatif::FormatReportJsonl(report);
+  } else {
+    throw FlagError("format", "expected text|jsonl, got '" + format + "'");
+  }
+  std::cout << text;
+  if (flags.Has("out")) {
+    AtomicWriteFile(flags.GetString("out"), text);
+  }
+  if (flags.Has("save")) {
+    whatif::SaveReportToFile(flags.GetString("save"), report);
+  }
+  if (flags.Has("require-gain")) {
+    const double required = flags.GetDouble("require-gain");
+    const double best = report.BestRelativeGain();
+    if (!(best >= required)) {
+      std::cerr << "whatif: best relative gain " << obs::StableDouble(best)
+                << " below required " << obs::StableDouble(required) << "\n";
+      return kExitWhatifNoGain;
+    }
+  }
+  return kExitOk;
+}
+
+int CmdWhatif(const Flags& flags) {
+  if (flags.Has("load")) {
+    // Re-render (and optionally re-gate) a persisted report; derived
+    // columns are recomputed from the stored measurements, so the output
+    // is byte-identical to the run that saved it.
+    return EmitWhatifReport(
+        whatif::LoadReportFromFile(flags.GetString("load")), flags);
+  }
+
+  whatif::Scenario scenario;
+  if (flags.Has("storm")) {
+    const std::string text = ReadFileOrThrow(flags.GetString("storm"));
+    robust::StormConfig storm = ParseFlagValue(
+        "storm", [&] { return robust::ParseStormConfig(text); });
+    storm.seed = flags.GetSize("seed", storm.seed);
+    storm.queries = flags.GetSize("queries", storm.queries);
+    const std::string side = flags.GetString("side", "hardened");
+    if (side != "hardened" && side != "baseline") {
+      throw FlagError("side",
+                      "expected hardened|baseline, got '" + side + "'");
+    }
+    scenario.testbed = robust::MakeStormTestbedConfig(storm, side == "hardened");
+  } else {
+    scenario.testbed = TestbedConfigFromFlags(flags);
+  }
+  if (flags.Has("objectives")) {
+    const std::string text = ReadFileOrThrow(flags.GetString("objectives"));
+    scenario.slo = ParseFlagValue(
+        "objectives", [&] { return obs::ParseSloObjectives(text); });
+    scenario.evaluate_slo = true;
+  }
+
+  std::vector<whatif::Knob> knobs;
+  if (flags.Has("knobs")) {
+    for (const std::string& name : SplitCommaList(flags.GetString("knobs"))) {
+      whatif::Knob knob;
+      if (!whatif::ParseKnob(name, &knob)) {
+        throw FlagError("knobs", "unknown knob '" + name + "'");
+      }
+      knobs.push_back(knob);
+    }
+    if (knobs.empty()) {
+      throw FlagError("knobs", "empty knob list");
+    }
+  } else {
+    knobs = whatif::AllKnobs();
+  }
+  std::vector<double> deltas;
+  for (const std::string& item :
+       SplitCommaList(flags.GetString("deltas", "-0.5,0.25,1"))) {
+    deltas.push_back(ParseDoubleFlag("deltas", item));
+  }
+
+  const whatif::Plan plan = ParseFlagValue(
+      "deltas",
+      [&] { return whatif::PlanExperiments(scenario, knobs, deltas); });
+  for (const whatif::Knob knob : plan.skipped) {
+    std::cerr << "whatif: knob " << whatif::ToString(knob)
+              << " not applicable to this scenario, skipped\n";
+  }
+  if (plan.experiments.empty()) {
+    throw FlagError("knobs", "no requested knob applies to this scenario");
+  }
+  return EmitWhatifReport(whatif::RunWhatif(scenario, plan), flags);
+}
 
 void PrintUsage(std::ostream& out) {
   out <<
@@ -1078,11 +1257,25 @@ void PrintUsage(std::ostream& out) {
       "  watch     [same flags as slo]   (render the same run as a\n"
       "            terminal-friendly per-window p99 bar chart with alert\n"
       "            markers; same exit-6 burn-through contract)\n"
+      "  whatif    [--storm F.storm --side hardened|baseline | <faults\n"
+      "            flags>] [--knobs k1,k2,... --deltas d1,d2,...\n"
+      "            --objectives F.slo --save F --load F\n"
+      "            --format text|jsonl --out F --require-gain X]\n"
+      "            (causal what-if profiler: exact counterfactual reruns\n"
+      "            of the same seeded scenario under a knob x delta grid\n"
+      "            — toggle-latency, service-rate, sprint-rate,\n"
+      "            sprint-timeout, breaker-cooldown, retry-backoff,\n"
+      "            admission, slo-window — reporting per experiment the\n"
+      "            first-order span prediction, the measured delta and\n"
+      "            the model error, with knobs ranked by marginal gain\n"
+      "            per unit virtual speedup; byte-identical for any\n"
+      "            --threads; exit 7 when --require-gain X is unmet)\n"
       "  help                          print this message\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
       "            3 obs-diff threshold breach, 4 mc invariant violation,\n"
       "            5 storm goodput-ratio gate breach,\n"
-      "            6 slo error-budget burn-through\n";
+      "            6 slo error-budget burn-through,\n"
+      "            7 whatif required-gain unmet\n";
 }
 
 }  // namespace
@@ -1092,12 +1285,12 @@ int main(int argc, char** argv) {
   using namespace msprint;
   if (argc < 2) {
     PrintUsage(std::cerr);
-    return 2;
+    return kExitUsage;
   }
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
     PrintUsage(std::cout);
-    return 0;
+    return kExitOk;
   }
   try {
     if (command == "obs-diff") {
@@ -1106,7 +1299,7 @@ int main(int argc, char** argv) {
           std::string(argv[3]).rfind("--", 0) == 0) {
         std::cerr << "usage: msprint obs-diff <a> <b> "
                      "[--max-rel X --approx-rel X --abs-eps X]\n";
-        return 2;
+        return kExitUsage;
       }
       const Flags diff_flags(argc, argv, 4);
       return CmdObsDiff(argv[2], argv[3], diff_flags);
@@ -1162,18 +1355,21 @@ int main(int argc, char** argv) {
     if (command == "watch") {
       return CmdWatch(flags);
     }
+    if (command == "whatif") {
+      return CmdWhatif(flags);
+    }
     if (command == "explain") {
       return CmdExplain(flags);
     }
     std::cerr << "unknown command: " << command << "\n";
     PrintUsage(std::cerr);
-    return 2;
+    return kExitUsage;
   } catch (const FlagError& error) {
     // Bad invocation, not a runtime failure: usage exit code.
     std::cerr << error.what() << "\n";
-    return 2;
+    return kExitUsage;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return kExitRuntime;
   }
 }
